@@ -1,0 +1,38 @@
+"""Shared utilities for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiment (timed through pytest-benchmark with a single round —
+the interesting output is the experimental result, not the harness's
+wall-clock), prints the regenerated rows/series, and saves them under
+``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist one regenerated table/figure and echo it to stdout.
+
+    The echo goes to the *real* stdout (``sys.__stdout__``) so the
+    regenerated tables land in ``bench_output.txt`` even under
+    pytest's output capture.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] saved to {path}\n{text}")
+
+
+def run_once(benchmark, experiment: Callable):
+    """Run ``experiment`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; repeating them only
+    re-times identical work, so one round is both faster and honest.
+    """
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Ablation G: rate-based machine vs request-level co-simulation.
+
+The strongest internal validation the reproduction offers: run the
+same workloads on (a) the rate-based simulator whose contention law
+was *fitted from* the bank-level DRAM model
+(:func:`~repro.memory.calibration.calibrate_linear_model`) and (b) the
+request-level detailed simulator where every cache line is an event
+and contention emerges from bank/bus state.  If the abstraction stack
+is sound, the two machines must agree on the things the paper cares
+about: who wins, which MTL is best, and roughly how much is won.
+
+Asserted per workload ratio:
+
+* both machines see throttling gains at moderate ratios;
+* the best static MTL matches within one step;
+* best-static speedups agree within 6 points.
+"""
+
+import pytest
+
+from _helpers import run_once, save_artifact
+from repro.analysis import format_speedup, render_table
+from repro.memory.calibration import calibrate_linear_model
+from repro.sim.detailed import DetailedSimulator
+from repro.sim.machine import i7_860
+from repro.sim.scheduler import FixedMtlPolicy, conventional_policy
+from repro.sim.simulator import Simulator
+from repro.stream.program import StreamProgram, build_phase
+from repro.units import kibibytes
+
+REQUESTS = kibibytes(64) // 64  # small tiles keep the event count sane
+PAIRS = 24
+#: Compute times spanning compute-bound to memory-bound regimes at the
+#: detailed machine's ~20 ns/request solo service time.
+COMPUTE_TIMES = [70e-6, 30e-6, 12e-6]
+
+
+def make_program(t_c: float) -> StreamProgram:
+    return StreamProgram(
+        f"tc-{t_c:.0e}", [build_phase("p", 0, PAIRS, REQUESTS, t_c)]
+    )
+
+
+def best_static(run):
+    """(best_mtl, speedup_over_conventional) under a runner callable."""
+    baseline = run(conventional_policy(4)).makespan
+    by_mtl = {m: run(FixedMtlPolicy(m)).makespan for m in (1, 2, 3, 4)}
+    best = min(by_mtl, key=lambda m: (by_mtl[m], m))
+    return best, baseline / by_mtl[best]
+
+
+def regenerate():
+    calibration = calibrate_linear_model(requests_per_stream=512)
+    rate_machine = i7_860(contention=calibration.model)
+
+    out = {}
+    for t_c in COMPUTE_TIMES:
+        program = make_program(t_c)
+        detailed_mtl, detailed_speedup = best_static(
+            lambda policy: DetailedSimulator().run(program, policy)
+        )
+        rate_mtl, rate_speedup = best_static(
+            lambda policy: Simulator(rate_machine).run(program, policy)
+        )
+        out[t_c] = {
+            "detailed": (detailed_mtl, detailed_speedup),
+            "rate": (rate_mtl, rate_speedup),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="ablation-request-level")
+def test_ablation_request_level_agreement(benchmark):
+    outcomes = run_once(benchmark, regenerate)
+
+    rows = []
+    for t_c, o in outcomes.items():
+        rows.append(
+            [
+                f"{t_c * 1e6:.0f} us",
+                f"{format_speedup(o['detailed'][1])} ({o['detailed'][0]})",
+                f"{format_speedup(o['rate'][1])} ({o['rate'][0]})",
+            ]
+        )
+    save_artifact(
+        "ablation_request_level",
+        render_table(
+            ["compute time", "request-level (S-MTL)",
+             "rate-based, DRAM-calibrated (S-MTL)"],
+            rows,
+        ),
+    )
+
+    for t_c, o in outcomes.items():
+        detailed_mtl, detailed_speedup = o["detailed"]
+        rate_mtl, rate_speedup = o["rate"]
+        assert abs(detailed_mtl - rate_mtl) <= 1, t_c
+        assert detailed_speedup == pytest.approx(rate_speedup, abs=0.06), t_c
+    # At least one point must show a solid gain on both machines.
+    assert any(
+        o["detailed"][1] > 1.05 and o["rate"][1] > 1.05
+        for o in outcomes.values()
+    )

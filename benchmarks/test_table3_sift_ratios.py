@@ -1,0 +1,36 @@
+"""Table III: memory-to-compute ratios of SIFT's parallel functions.
+
+Runs the full 14-phase SIFT trace at MTL=1 and reports the per-phase
+``T_m1/T_c``, checking every row against the published table.
+"""
+
+import pytest
+
+from _helpers import run_once, save_artifact
+from repro.analysis import format_percent, render_table
+from repro.runtime import measure_phase_ratios
+from repro.workloads import SIFT_FUNCTION_RATIOS, SiftWorkload
+
+
+def regenerate_table3():
+    # A scaled-down pair count keeps the MTL=1 run quick; the ratio is
+    # a per-task property and does not depend on the pair count.
+    program = SiftWorkload(pair_scale=0.25).build()
+    return measure_phase_ratios(program)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sift_ratios(benchmark):
+    measured = run_once(benchmark, regenerate_table3)
+
+    rows = [
+        [name, format_percent(paper_value), format_percent(measured[name])]
+        for name, paper_value in SIFT_FUNCTION_RATIOS.items()
+    ]
+    save_artifact(
+        "table3_sift_ratios",
+        render_table(["Function", "paper T_m1/T_c", "measured"], rows),
+    )
+
+    for name, paper_value in SIFT_FUNCTION_RATIOS.items():
+        assert measured[name] == pytest.approx(paper_value, rel=1e-3), name

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Phase adaptation: watch the throttler retune MTL through SIFT.
+
+SIFT's pipeline alternates between memory-hungry convolutions
+(ECONVOLVE at 70% memory-to-compute) and compute-dominated ones
+(ECONVOLVE2 at 7.8%).  A static MTL is wrong for part of the program
+whichever value is picked; the paper's mechanism detects each phase
+change through the IdleBound criterion and re-selects (Section VI-D1).
+
+This example runs the full 14-function SIFT trace and prints:
+
+* the MTL timeline (when and why the throttler moved);
+* per-function ratios next to the selected MTL;
+* the end-to-end speedup against the conventional schedule and
+  against the best *static* MTL, showing why dynamic beats static on
+  phased programs.
+
+Run:  python examples/adaptive_phases.py
+"""
+
+from repro import (
+    DynamicThrottlingPolicy,
+    conventional_policy,
+    i7_860,
+    offline_exhaustive_search,
+    simulate,
+)
+from repro.analysis import render_table
+from repro.units import format_time
+from repro.workloads import SIFT_FUNCTION_RATIOS, sift
+
+
+def main() -> None:
+    program = sift()
+    machine = i7_860()
+    n = machine.context_count
+
+    baseline = simulate(program, conventional_policy(n), machine)
+    throttler = DynamicThrottlingPolicy(context_count=n)
+    throttled = simulate(program, throttler, machine)
+    offline = offline_exhaustive_search(program, machine)
+
+    print(f"SIFT on {machine.name}: {program.total_pairs} pairs over "
+          f"{len(program.phases)} parallel functions\n")
+
+    print("MTL timeline (dynamic throttling):")
+    rows = []
+    for change in throttled.mtl_changes:
+        rows.append(
+            [format_time(change.time), str(change.old_mtl),
+             str(change.new_mtl), change.reason]
+        )
+    print(render_table(["time", "from", "to", "reason"], rows))
+
+    print("\nPer-function characteristics (Table III ratios):")
+    ratio_rows = [
+        [name, f"{ratio * 100:.2f}%"]
+        for name, ratio in SIFT_FUNCTION_RATIOS.items()
+    ]
+    print(render_table(["function", "T_m1/T_c"], ratio_rows))
+
+    conventional_time = baseline.makespan
+    print(f"\nconventional:        {format_time(conventional_time)}")
+    print(f"best static (MTL={offline.best_mtl}): "
+          f"{format_time(offline.best.makespan)}  "
+          f"({conventional_time / offline.best.makespan:.3f}x)")
+    print(f"dynamic throttling:  {format_time(throttled.makespan)}  "
+          f"({conventional_time / throttled.makespan:.3f}x)")
+    print(f"selections made:     {len(throttler.selections)}")
+    print(f"dominant D-MTL:      {throttled.dominant_mtl()}")
+    if throttled.makespan < offline.best.makespan:
+        print("\ndynamic beats every static MTL — the phased structure "
+              "is exactly what run-time adaptation buys (Section VI-D1).")
+
+
+if __name__ == "__main__":
+    main()

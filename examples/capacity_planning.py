@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Capacity planning: should you buy a second DIMM or enable SMT?
+
+A downstream use of the library beyond reproducing the paper: given a
+workload mix, compare machine configurations and scheduling policies
+to decide where the next performance increment comes from — more
+memory channels, more hardware threads, or smarter scheduling.
+
+This sweeps the paper's three machine configurations (1-DIMM, 2-DIMM,
+2-DIMM + SMT) across the realistic workloads and reports, per cell,
+the conventional runtime and the throttled runtime.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import DynamicThrottlingPolicy, conventional_policy, i7_860, simulate
+from repro.analysis import render_table
+from repro.units import format_time
+from repro.workloads import build_workload, realistic_workloads
+
+
+def main() -> None:
+    machines = [
+        i7_860(channels=1),
+        i7_860(channels=2),
+        i7_860(channels=2, smt=2),
+    ]
+
+    rows = []
+    for workload_name in realistic_workloads():
+        for machine in machines:
+            program = build_workload(workload_name)
+            n = machine.context_count
+            conventional = simulate(program, conventional_policy(n), machine)
+            throttled = simulate(
+                program, DynamicThrottlingPolicy(context_count=n), machine
+            )
+            rows.append(
+                [
+                    workload_name,
+                    machine.name,
+                    format_time(conventional.makespan),
+                    format_time(throttled.makespan),
+                    f"{conventional.makespan / throttled.makespan:.3f}x",
+                ]
+            )
+
+    print(render_table(
+        ["workload", "machine", "conventional", "throttled", "speedup"], rows
+    ))
+
+    print(
+        "\nReading the table:\n"
+        "  * a second DIMM cuts conventional runtimes by relieving\n"
+        "    contention — and shrinks what throttling can add;\n"
+        "  * SMT doubles the thread count, re-creating contention and\n"
+        "    restoring the value of throttling (Figure 18 of the paper);\n"
+        "  * scheduling is the cheapest lever: the throttled 1-DIMM\n"
+        "    system recovers a useful fraction of the second DIMM's\n"
+        "    benefit with no hardware change."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: throttle a stream workload and measure the speedup.
+
+This walks the full public API surface in five steps:
+
+1. build a stream program (PARSEC streamcluster, the paper's native
+   input, calibrated to its published memory-to-compute ratio);
+2. simulate it on the paper's machine (Intel i7-860, 1 DIMM) under the
+   conventional interference-oblivious schedule;
+3. simulate it again under the dynamic memory-thread-throttling
+   mechanism;
+4. compare against the analytical model's prediction;
+5. print the schedule as a gantt chart so the throttling is visible.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticalModel,
+    DynamicThrottlingPolicy,
+    conventional_policy,
+    i7_860,
+    simulate,
+)
+from repro.sim.gantt import render_gantt
+from repro.units import format_time
+from repro.workloads import streamcluster
+
+
+def main() -> None:
+    # 1. A workload: streamcluster with the native 128-dimension input.
+    program = streamcluster()
+    machine = i7_860()
+    print(f"workload: {program.name} ({program.total_pairs} task pairs)")
+    print(f"machine:  {machine.name} ({machine.core_count} cores)\n")
+
+    # 2. The interference-oblivious baseline (MTL = number of cores).
+    baseline = simulate(program, conventional_policy(machine.context_count),
+                        machine)
+    print(f"conventional schedule: {format_time(baseline.makespan)}")
+
+    # 3. The paper's run-time throttling mechanism.
+    throttler = DynamicThrottlingPolicy(context_count=machine.context_count)
+    throttled = simulate(program, throttler, machine)
+    speedup = baseline.makespan / throttled.makespan
+    print(f"dynamic throttling:    {format_time(throttled.makespan)}")
+    print(f"speedup:               {speedup:.3f}x")
+    print(f"selected MTL (D-MTL):  {throttled.dominant_mtl()}")
+    print(f"MTL selections made:   {len(throttler.selections)}")
+    print(f"monitoring share:      {throttled.probe_task_time_fraction():.2%}\n")
+
+    # 4. What does the analytical model say?  Feed it the measured
+    #    T_mk / T_c / T_mn and compare.
+    model = AnalyticalModel(core_count=machine.core_count)
+    d_mtl = throttled.dominant_mtl()
+    t_mk = throttled.mean_memory_duration(mtl=d_mtl)
+    t_c = throttled.mean_compute_duration()
+    t_mn = baseline.mean_memory_duration()
+    predicted = model.speedup(t_mk, t_c, d_mtl, t_mn)
+    print(f"analytical prediction: {predicted:.3f}x "
+          f"(measured {speedup:.3f}x)")
+
+    # 5. Show the start of both schedules.
+    print("\n--- conventional (first view) ---")
+    print(render_gantt(baseline, width=72))
+    print("\n--- throttled (first view) ---")
+    print(render_gantt(throttled, width=72))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Server consolidation: co-schedule two applications under one gate.
+
+The paper throttles a single application, but the MTL gate is a
+machine-wide limit — exactly what a consolidated server needs when a
+memory-hungry analytics job (streamcluster) lands next to a
+latency-sensitive compute kernel (dft).
+
+This example co-schedules the two on one i7-860, with and without a
+global throttle, and reports what each program experiences relative
+to running alone: mix makespan, per-program slowdowns, and the gantt
+of the shared machine.
+
+Run:  python examples/server_consolidation.py
+"""
+
+from repro import FixedMtlPolicy, conventional_policy, i7_860, simulate
+from repro.analysis import render_table
+from repro.sim.gantt import render_gantt
+from repro.sim.multiprogram import co_schedule
+from repro.units import format_time
+from repro.workloads import dft, streamcluster
+
+
+def main() -> None:
+    machine = i7_860()
+    solo = {
+        program.name: simulate(program, conventional_policy(4), machine).makespan
+        for program in (dft(), streamcluster())
+    }
+    print("solo runtimes:")
+    for name, makespan in solo.items():
+        print(f"  {name}: {format_time(makespan)}")
+
+    rows = []
+    results = {}
+    for label, policy in (
+        ("conventional", conventional_policy(4)),
+        ("global MTL=2", FixedMtlPolicy(2)),
+    ):
+        result = co_schedule([dft(), streamcluster()], policy, machine)
+        results[label] = result
+        for name in solo:
+            rows.append(
+                [
+                    label,
+                    name,
+                    format_time(result.program_finish_time(name)),
+                    f"{result.slowdown(name, solo[name]):.3f}x",
+                ]
+            )
+        rows.append(
+            [label, "(mix)", format_time(result.combined.makespan), "-"]
+        )
+
+    print()
+    print(render_table(
+        ["policy", "program", "finish time", "slowdown vs solo"], rows
+    ))
+
+    conventional_mix = results["conventional"].combined.makespan
+    throttled_mix = results["global MTL=2"].combined.makespan
+    print(
+        f"\nglobal throttling speeds the mix up by "
+        f"{conventional_mix / throttled_mix:.3f}x and narrows the worst "
+        "per-program slowdown — interference control doubles as a "
+        "fairness mechanism.\n"
+    )
+    print(render_gantt(results["global MTL=2"].combined, width=72))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP-517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` fall back to the classic
+``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

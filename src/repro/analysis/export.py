@@ -1,0 +1,94 @@
+"""Machine-readable export of simulation results and figure series.
+
+Terminal tables are for humans; downstream tooling (plotting scripts,
+regression dashboards) wants structured data.  This module serialises
+the library's two main result types without adding dependencies:
+
+* :func:`result_to_dict` / :func:`result_to_json` — a complete
+  :class:`~repro.sim.results.SimulationResult` (records, MTL timeline,
+  derived statistics);
+* :func:`series_to_csv` — figure series as CSV with one x column and
+  one column per series (missing points left empty).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.figures import Series
+from repro.errors import MeasurementError
+from repro.sim.results import SimulationResult
+
+__all__ = ["result_to_dict", "result_to_json", "series_to_csv"]
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Serialise a simulation result to plain Python data."""
+    return {
+        "program": result.program_name,
+        "machine": result.machine_name,
+        "policy": result.policy_name,
+        "context_count": result.context_count,
+        "makespan": result.makespan,
+        "utilization": result.utilization(),
+        "probe_task_time_fraction": result.probe_task_time_fraction(),
+        "mtl_changes": [
+            {
+                "time": change.time,
+                "old_mtl": change.old_mtl,
+                "new_mtl": change.new_mtl,
+                "reason": change.reason,
+            }
+            for change in result.mtl_changes
+        ],
+        "records": [
+            {
+                "task_id": record.task_id,
+                "kind": record.kind.value,
+                "context": record.context_id,
+                "core": record.core_id,
+                "start": record.start,
+                "end": record.end,
+                "mtl": record.mtl_at_dispatch,
+                "phase": record.phase_index,
+                "pair": record.pair_index,
+                "probe": record.probe,
+            }
+            for record in result.records
+        ],
+    }
+
+
+def result_to_json(result: SimulationResult, indent: int = 2) -> str:
+    """Serialise a simulation result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def series_to_csv(series_list: Sequence[Series]) -> str:
+    """Render figure series as CSV sharing one x column.
+
+    Rows are the union of all x values in ascending order; a series
+    without a point at some x contributes an empty cell.
+    """
+    if not series_list:
+        raise MeasurementError("nothing to export")
+    names = [s.name for s in series_list]
+    if len(set(names)) != len(names):
+        raise MeasurementError(f"duplicate series names: {names}")
+
+    by_series: List[Dict[float, float]] = [dict(s.points) for s in series_list]
+    xs = sorted({x for table in by_series for x in table})
+    lines = ["x," + ",".join(_csv_quote(name) for name in names)]
+    for x in xs:
+        cells = [repr(x)]
+        for table in by_series:
+            cells.append(repr(table[x]) if x in table else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def _csv_quote(text: str) -> str:
+    if any(ch in text for ch in ',"\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text

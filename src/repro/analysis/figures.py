@@ -1,0 +1,91 @@
+"""Series containers and ASCII charts for figure regeneration.
+
+Each figure benchmark produces one or more named series (e.g. the
+"measured" and "analytical" speedup curves of Figure 13) and renders
+them as an ASCII scatter/line chart so the shape is inspectable in
+terminal output and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import MeasurementError
+
+__all__ = ["Series", "ascii_chart"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series.
+
+    Attributes:
+        name: Legend label.
+        points: ``(x, y)`` pairs, in x order.
+        marker: Single character used to plot the series.
+    """
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MeasurementError("series name must be non-empty")
+        if len(self.marker) != 1:
+            raise MeasurementError(
+                f"marker must be a single character, got {self.marker!r}"
+            )
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+
+def ascii_chart(
+    series_list: Sequence[Series],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Plot series on a shared-axis ASCII grid.
+
+    Later series overwrite earlier ones where they collide, so put the
+    reference (analytical) series first and the measured series last.
+    """
+    if width < 16 or height < 4:
+        raise MeasurementError(f"chart too small: {width}x{height}")
+    points = [p for s in series_list for p in s.points]
+    if not points:
+        raise MeasurementError("nothing to plot")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series in series_list:
+        for x, y in series.points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = series.marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_value = y_hi - i * y_span / (height - 1)
+        lines.append(f"{y_value:8.3f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<12.3f}{'':{max(width - 24, 0)}}{x_hi:>12.3f}")
+    legend = "   ".join(f"{s.marker} {s.name}" for s in series_list)
+    lines.append(f"{'':9}{legend}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benchmark harness regenerates the paper's tables as terminal
+text; this module owns the formatting so every bench prints in a
+consistent style::
+
+    Benchmark      | Name     | T_m1/T_c
+    ---------------+----------+---------
+    streamcluster  | SC_d128  |   37.1%
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import MeasurementError
+
+__all__ = ["render_table", "format_percent", "format_speedup"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render rows under headers with aligned columns."""
+    if not headers:
+        raise MeasurementError("table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise MeasurementError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells.extend([[str(c) for c in row] for row in rows])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """``0.3714 -> '37.14%'``."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def format_speedup(value: float, decimals: int = 3) -> str:
+    """``1.2129 -> '1.213x'``."""
+    return f"{value:.{decimals}f}x"

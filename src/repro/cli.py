@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main entry points
+without writing Python:
+
+* ``list-workloads`` — registered workloads and their pair counts;
+* ``ratio WORKLOAD`` — measure a workload's ``T_m1/T_c`` (Table II/III);
+* ``run WORKLOAD`` — simulate under a policy and report speedup,
+  selected MTL, and optionally the schedule gantt;
+* ``compare WORKLOAD`` — the Figure 14 three-policy comparison;
+* ``sweep`` — a miniature Figure 13 synthetic sweep.
+
+Workloads are named as in the paper (``dft``, ``SC_d128``, ``SIFT``)
+or loaded from a JSON spec via ``--spec`` (see
+:mod:`repro.workloads.spec`).  Machines are configured with
+``--channels`` and ``--smt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    format_comparison,
+    format_percent,
+    format_speedup,
+    render_table,
+)
+from repro.core import (
+    DynamicThrottlingPolicy,
+    FixedMtlPolicy,
+    OnlineExhaustivePolicy,
+    conventional_policy,
+    offline_exhaustive_search,
+    predict_speedup_curve,
+)
+from repro.errors import ReproError
+from repro.runtime import (
+    compare_policies,
+    measure_ratio,
+    offline_best_static_factory,
+    paper_policy_suite,
+)
+from repro.sim import Simulator, i7_860
+from repro.sim.gantt import render_gantt
+from repro.stream.program import StreamProgram
+from repro.units import format_time
+from repro.workloads import build_workload, workload_names
+from repro.workloads.spec import load_workload_spec
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory thread throttling (MICRO 2010) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--channels", type=int, default=1,
+                       help="memory channels (1 or 2)")
+        p.add_argument("--smt", type=int, default=1,
+                       help="SMT ways (1 = off, 2 = on)")
+
+    def add_workload_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload", nargs="?",
+                       help="registered workload name (see list-workloads)")
+        p.add_argument("--spec", help="path to a JSON workload spec")
+
+    sub.add_parser("list-workloads", help="list registered workloads")
+
+    ratio = sub.add_parser("ratio", help="measure a workload's T_m1/T_c")
+    add_workload_options(ratio)
+    add_machine_options(ratio)
+
+    run = sub.add_parser("run", help="simulate a workload under a policy")
+    add_workload_options(run)
+    add_machine_options(run)
+    run.add_argument(
+        "--policy",
+        default="dynamic",
+        help="dynamic | conventional | online | offline | static:K",
+    )
+    run.add_argument("--gantt", action="store_true",
+                     help="render the schedule as ASCII")
+    run.add_argument("--window-pairs", type=int, default=16,
+                     help="W, the monitoring window (dynamic/online)")
+
+    compare = sub.add_parser(
+        "compare", help="offline vs dynamic vs online (Figure 14 row)"
+    )
+    add_workload_options(compare)
+    add_machine_options(compare)
+
+    characterize_cmd = sub.add_parser(
+        "characterize",
+        help="per-phase ratios, IdleBounds, and model predictions",
+    )
+    add_workload_options(characterize_cmd)
+    add_machine_options(characterize_cmd)
+
+    sweep = sub.add_parser("sweep", help="synthetic ratio sweep (Figure 13)")
+    sweep.add_argument("--start", type=float, default=0.05)
+    sweep.add_argument("--stop", type=float, default=2.0)
+    sweep.add_argument("--step", type=float, default=0.1)
+
+    suite = sub.add_parser(
+        "suite",
+        help="run the realistic workloads x machines x policies grid as CSV",
+    )
+    suite.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="workload names (default: the Figure 14 trio)",
+    )
+    return parser
+
+
+def _load_program(args: argparse.Namespace) -> StreamProgram:
+    if args.spec:
+        return load_workload_spec(args.spec)
+    if not args.workload:
+        raise ReproError("give a workload name or --spec PATH")
+    return build_workload(args.workload)
+
+
+def _machine(args: argparse.Namespace):
+    return i7_860(channels=args.channels, smt=args.smt)
+
+
+def _make_policy(name: str, program: StreamProgram, machine, window_pairs: int):
+    n = machine.context_count
+    if name == "dynamic":
+        return DynamicThrottlingPolicy(context_count=n, window_pairs=window_pairs)
+    if name == "conventional":
+        return conventional_policy(n)
+    if name == "online":
+        return OnlineExhaustivePolicy(context_count=n, window_pairs=window_pairs)
+    if name == "offline":
+        return offline_best_static_factory(program, machine)()
+    if name.startswith("static:"):
+        return FixedMtlPolicy(int(name.split(":", 1)[1]))
+    raise ReproError(
+        f"unknown policy {name!r}; use dynamic | conventional | online | "
+        "offline | static:K"
+    )
+
+
+def _cmd_list_workloads() -> int:
+    rows = [
+        [name, str(build_workload(name).total_pairs)]
+        for name in workload_names()
+    ]
+    print(render_table(["workload", "task pairs"], rows))
+    return 0
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    ratio = measure_ratio(program, machine=_machine(args))
+    print(f"{program.name}: T_m1/T_c = {format_percent(ratio)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    machine = _machine(args)
+    policy = _make_policy(args.policy, program, machine, args.window_pairs)
+    simulator = Simulator(machine)
+    result = simulator.run(program, policy)
+    baseline = simulator.run(
+        program, conventional_policy(machine.context_count)
+    )
+    print(f"workload: {program.name} ({program.total_pairs} pairs)")
+    print(f"machine:  {machine.name}")
+    print(f"policy:   {policy.name}")
+    print(f"makespan: {format_time(result.makespan)}")
+    print(
+        "speedup vs conventional: "
+        f"{format_speedup(baseline.makespan / result.makespan)}"
+    )
+    print(f"dominant MTL: {result.dominant_mtl()}")
+    if args.gantt:
+        print()
+        print(render_gantt(result))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.runtime.characterize import characterize
+
+    program = _load_program(args)
+    print(characterize(program, machine=_machine(args)).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    machine = _machine(args)
+    policies = dict(paper_policy_suite(machine))
+    policies["Offline Exhaustive Search"] = offline_best_static_factory(
+        program, machine
+    )
+    result = compare_policies(program, policies, machine=machine)
+    print(format_comparison(result))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.step <= 0 or args.stop < args.start:
+        raise ReproError("sweep needs step > 0 and stop >= start")
+    from repro.memory.contention import nehalem_ddr3_contention
+    from repro.workloads import synthetic_from_ratio
+
+    ratios = []
+    value = args.start
+    while value <= args.stop + 1e-9:
+        ratios.append(round(value, 6))
+        value += args.step
+    predictions = predict_speedup_curve(ratios, nehalem_ddr3_contention())
+    rows = []
+    for prediction in predictions:
+        program = synthetic_from_ratio(prediction.ratio, pairs=48)
+        outcome = offline_exhaustive_search(program)
+        rows.append(
+            [
+                f"{prediction.ratio:.2f}",
+                format_speedup(outcome.speedup_over(4)),
+                str(outcome.best_mtl),
+                format_speedup(prediction.speedup),
+                str(prediction.best_mtl),
+            ]
+        )
+    print(
+        render_table(
+            ["T_m1/T_c", "measured", "S-MTL", "analytical", "model MTL"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.core import DynamicThrottlingPolicy
+    from repro.runtime.suite import run_suite
+    from repro.workloads import realistic_workloads
+
+    names = args.workloads if args.workloads else realistic_workloads()
+    workloads = {
+        name: (lambda n=name: build_workload(n)) for name in names
+    }
+    machines = [i7_860(channels=1), i7_860(channels=2)]
+    policies = {
+        "dynamic": lambda machine: DynamicThrottlingPolicy(
+            context_count=machine.context_count
+        ),
+        "static-1": lambda machine: FixedMtlPolicy(1),
+        "static-2": lambda machine: FixedMtlPolicy(2),
+    }
+    result = run_suite(workloads, machines, policies)
+    print(result.to_csv(), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list-workloads":
+            return _cmd_list_workloads()
+        if args.command == "ratio":
+            return _cmd_ratio(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "characterize":
+            return _cmd_characterize(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "suite":
+            return _cmd_suite(args)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; the Unix
+        # convention is to exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.model` — the analytical performance model
+  (Section IV-A): core-idle condition, execution time, and speedup at
+  any MTL constraint.
+* :mod:`repro.core.phase` — IdleBound-based coarse phase-change
+  detection (Section IV-B).
+* :mod:`repro.core.selection` — binary-search MTL selection over the
+  two-candidate pruned space (Section IV-C).
+* :mod:`repro.core.throttle` — the run-time dynamic throttling policy
+  assembling the three pieces.
+* :mod:`repro.core.policies` — the Online Exhaustive Search baseline
+  and re-exports of the static policies.
+* :mod:`repro.core.offline` — the Offline Exhaustive Search driver.
+"""
+
+from repro.core.adaptive import AdaptiveWindowThrottlingPolicy
+from repro.core.model import AnalyticalModel, MtlPrediction, predict_speedup_curve
+from repro.core.offline import OfflineSearchOutcome, offline_exhaustive_search
+from repro.core.phase import PairSample, PhaseChangeDetector, WindowStats
+from repro.core.regions import SMtlRegion, s_mtl_regions
+from repro.core.policies import (
+    FixedMtlPolicy,
+    OnlineExhaustivePolicy,
+    OnlineSelectionEvent,
+    conventional_policy,
+)
+from repro.core.selection import MtlDecision, MtlSelector
+from repro.core.throttle import DynamicThrottlingPolicy, SelectionEvent
+
+__all__ = [
+    "AdaptiveWindowThrottlingPolicy",
+    "AnalyticalModel",
+    "DynamicThrottlingPolicy",
+    "FixedMtlPolicy",
+    "MtlDecision",
+    "MtlPrediction",
+    "MtlSelector",
+    "OfflineSearchOutcome",
+    "OnlineExhaustivePolicy",
+    "OnlineSelectionEvent",
+    "PairSample",
+    "PhaseChangeDetector",
+    "SMtlRegion",
+    "SelectionEvent",
+    "s_mtl_regions",
+    "WindowStats",
+    "conventional_policy",
+    "offline_exhaustive_search",
+    "predict_speedup_curve",
+]

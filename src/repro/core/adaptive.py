@@ -1,0 +1,87 @@
+"""Adaptive-window throttling — an extension motivated by Figure 15.
+
+The paper's W sensitivity study shows that the right monitoring window
+depends on how much parallel work the program has: dft (96 pairs)
+wants W <= 8 while streamcluster and SIFT are happy at W = 16, and the
+paper simply reports the best W per workload.  A deployed runtime
+cannot be hand-tuned per workload, so this extension sizes the window
+from what the mechanism can observe on its own: the number of pairs
+the current phase has completed so far.
+
+Policy: start with a small bootstrap window (fast first decision, the
+dft case), then grow the window geometrically up to ``max_window`` as
+completed pairs accumulate (the streamcluster/SIFT case, where longer
+windows buy accuracy at negligible relative cost).  The growth rule
+keeps total monitoring below ``budget_fraction`` of the pairs seen.
+"""
+
+from __future__ import annotations
+
+from repro.core.throttle import DynamicThrottlingPolicy
+from repro.errors import ConfigurationError
+from repro.sim.events import TaskRecord
+
+__all__ = ["AdaptiveWindowThrottlingPolicy"]
+
+
+class AdaptiveWindowThrottlingPolicy(DynamicThrottlingPolicy):
+    """Dynamic throttling with a self-sizing monitoring window.
+
+    Args:
+        context_count: Schedulable contexts ``n``.
+        min_window: Bootstrap window (pairs) used until enough pairs
+            have completed to justify more monitoring.
+        max_window: Ceiling on the window size.
+        budget_fraction: Target ceiling on the fraction of completed
+            pairs spent inside monitoring windows; the window grows
+            only while staying within it.
+    """
+
+    def __init__(
+        self,
+        context_count: int,
+        min_window: int = 4,
+        max_window: int = 24,
+        budget_fraction: float = 0.15,
+    ) -> None:
+        if min_window < 1:
+            raise ConfigurationError(f"min_window must be >= 1, got {min_window}")
+        if max_window < min_window:
+            raise ConfigurationError(
+                f"max_window ({max_window}) must be >= min_window ({min_window})"
+            )
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ConfigurationError(
+                f"budget_fraction must be in (0, 1], got {budget_fraction}"
+            )
+        super().__init__(context_count=context_count, window_pairs=min_window)
+        self._min_window = min_window
+        self._max_window = max_window
+        self._budget_fraction = budget_fraction
+        self._pairs_seen = 0
+
+    @property
+    def name(self) -> str:
+        return "adaptive-window-throttling"
+
+    def on_task_complete(self, record: TaskRecord, now: float) -> None:
+        if record.is_memory:
+            super().on_task_complete(record, now)
+            return
+        self._pairs_seen += 1
+        self._maybe_grow_window()
+        super().on_task_complete(record, now)
+
+    def _maybe_grow_window(self) -> None:
+        """Grow W while the monitoring budget allows it.
+
+        A window of W pairs per estimation event stays within the
+        budget when ``W <= budget_fraction * pairs_seen``; growth is
+        applied between windows only (the detector's partial window is
+        preserved by never shrinking).
+        """
+        affordable = int(self._budget_fraction * self._pairs_seen)
+        target = max(self._min_window, min(affordable, self._max_window))
+        if target > self._window_pairs:
+            self._window_pairs = target
+            self._detector.grow_window(target)

@@ -1,0 +1,207 @@
+"""The analytical performance model (Section IV-A of the paper).
+
+Given the measured mean memory-task time under ``MTL = k`` (``T_mk``),
+the measured mean compute-task time (``T_c``), and the core count
+``n``, the model answers three questions:
+
+1. **Do cores idle at MTL = k?**  The time to drain all memory tasks
+   through ``k`` slots is compared against the ideal back-to-back
+   schedule::
+
+       T_mk * t / k  >  (T_mk + T_c) * t / n
+           <=>  T_mk / T_c  >  k / (n - k)      (Equation 1)
+
+   Some cores idle when the inequality holds.  At ``k = n`` it can
+   never hold (the right side is unbounded), so MTL = n is always
+   all-busy.
+
+2. **What is the execution time at MTL = k?**  ``(T_mk + T_c) * t / n``
+   when all cores are busy (Figure 9(a)), ``T_mk * t / k`` when some
+   idle (Figure 9(b)).
+
+3. **What is the speedup over the unthrottled MTL = n schedule?**
+   ``(T_mn + T_c) / (T_mk + T_c)`` in the all-busy case and
+   ``(T_mn + T_c) * k / (T_mk * n)`` in the some-idle case.
+
+:func:`predict_speedup_curve` composes the model with a contention
+model's latency ratios to produce the *analytical* series of
+Figure 13 — predicted best MTL (S-MTL) and speedup as a function of
+the workload's ``T_m1 / T_c`` ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ModelError
+from repro.memory.contention import ContentionModel
+
+__all__ = [
+    "AnalyticalModel",
+    "MtlPrediction",
+    "predict_speedup_curve",
+]
+
+
+def _validate_times(t_m: float, t_c: float) -> None:
+    if t_m <= 0:
+        raise ModelError(f"memory-task time must be positive, got {t_m}")
+    if t_c < 0:
+        raise ModelError(f"compute-task time must be non-negative, got {t_c}")
+
+
+@dataclass(frozen=True)
+class AnalyticalModel:
+    """The paper's analytical model for an ``n``-core machine.
+
+    ``n`` is the number of schedulable contexts — physical cores with
+    SMT off.  (With SMT on, ``T_c`` stops being constant and the model
+    is knowingly approximate; Section VI-E.)
+    """
+
+    core_count: int
+
+    def __post_init__(self) -> None:
+        if self.core_count < 1:
+            raise ModelError(f"core_count must be >= 1, got {self.core_count}")
+
+    def _validate_mtl(self, k: int) -> None:
+        if not 1 <= k <= self.core_count:
+            raise ModelError(
+                f"MTL {k} outside [1, {self.core_count}]"
+            )
+
+    def busy_threshold(self, k: int) -> float:
+        """``k / (n - k)`` — the ratio boundary of Equation 1.
+
+        All cores are busy at MTL = k exactly when
+        ``T_mk / T_c <= busy_threshold(k)``; infinite at ``k = n``.
+        """
+        self._validate_mtl(k)
+        if k == self.core_count:
+            return float("inf")
+        return k / (self.core_count - k)
+
+    def cores_idle(self, t_mk: float, t_c: float, k: int) -> bool:
+        """Whether some cores idle at MTL = k (Equation 1)."""
+        _validate_times(t_mk, t_c)
+        if t_c == 0:
+            return k < self.core_count
+        return t_mk / t_c > self.busy_threshold(k)
+
+    def idle_bound(self, t_m: float, t_c: float) -> int:
+        """Minimum MTL at which all cores are busy (*IdleBound*).
+
+        Uses one ``(T_m, T_c)`` measurement as a proxy for every
+        candidate MTL, exactly as the phase-change detector does
+        (Section IV-B); the subsequent MTL selection re-measures at the
+        actual candidates.
+        """
+        _validate_times(t_m, t_c)
+        for k in range(1, self.core_count + 1):
+            if not self.cores_idle(t_m, t_c, k):
+                return k
+        return self.core_count  # unreachable: k = n is never idle
+
+    def execution_time(self, t_mk: float, t_c: float, k: int, pairs: int) -> float:
+        """Predicted makespan of ``pairs`` task pairs at MTL = k."""
+        _validate_times(t_mk, t_c)
+        self._validate_mtl(k)
+        if pairs < 1:
+            raise ModelError(f"pairs must be >= 1, got {pairs}")
+        if self.cores_idle(t_mk, t_c, k):
+            return t_mk * pairs / k
+        return (t_mk + t_c) * pairs / self.core_count
+
+    def speedup(self, t_mk: float, t_c: float, k: int, t_mn: float) -> float:
+        """Speedup of MTL = k over the unthrottled MTL = n schedule.
+
+        ``t_mn`` is the memory-task time measured *without* throttling.
+        """
+        _validate_times(t_mk, t_c)
+        _validate_times(t_mn, t_c)
+        self._validate_mtl(k)
+        if self.cores_idle(t_mk, t_c, k):
+            return (t_mn + t_c) * k / (t_mk * self.core_count)
+        denominator = t_mk + t_c
+        if denominator <= 0:
+            raise ModelError("t_mk + t_c must be positive")
+        return (t_mn + t_c) / denominator
+
+    def busy_selection_metric(self, t_mk: float, t_c: float) -> float:
+        """Speedup of an all-busy candidate up to the shared factor
+        ``(T_mn + T_c)`` — sufficient for comparing candidates without
+        measuring ``T_mn`` (Section IV-C)."""
+        _validate_times(t_mk, t_c)
+        return 1.0 / (t_mk + t_c)
+
+    def idle_selection_metric(self, t_mk: float, k: int) -> float:
+        """Speedup of a some-idle candidate up to ``(T_mn + T_c)``."""
+        if t_mk <= 0:
+            raise ModelError(f"memory-task time must be positive, got {t_mk}")
+        self._validate_mtl(k)
+        return k / (t_mk * self.core_count)
+
+
+@dataclass(frozen=True)
+class MtlPrediction:
+    """Model prediction for one workload ratio.
+
+    Attributes:
+        ratio: The workload's ``T_m1 / T_c``.
+        best_mtl: Predicted best constraint (the S-MTL of Figure 13).
+        speedup: Predicted speedup of ``best_mtl`` over MTL = n.
+        per_mtl_speedup: Predicted speedup of every MTL value.
+    """
+
+    ratio: float
+    best_mtl: int
+    speedup: float
+    per_mtl_speedup: Dict[int, float]
+
+
+def predict_speedup_curve(
+    ratios: Sequence[float],
+    contention: ContentionModel,
+    core_count: int = 4,
+    channels: int = 1,
+) -> List[MtlPrediction]:
+    """The analytical series of Figure 13.
+
+    For a synthetic workload with ``T_m1 / T_c = r`` the memory-task
+    time under MTL = k scales by the contention model's latency ratio
+    ``g_k = L(k) / L(1)``, so with ``T_m1 = r`` and ``T_c = 1`` every
+    quantity of the model is determined.  The best MTL and its speedup
+    are evaluated per ratio.
+    """
+    if core_count < 1:
+        raise ModelError(f"core_count must be >= 1, got {core_count}")
+    model = AnalyticalModel(core_count=core_count)
+    latency_1 = contention.request_latency(1.0, channels=channels)
+    ratios_g = {
+        k: contention.request_latency(float(k), channels=channels) / latency_1
+        for k in range(1, core_count + 1)
+    }
+
+    predictions: List[MtlPrediction] = []
+    for ratio in ratios:
+        if ratio <= 0:
+            raise ModelError(f"ratio must be positive, got {ratio}")
+        t_c = 1.0
+        t_m1 = ratio
+        t_mn = t_m1 * ratios_g[core_count]
+        per_mtl: Dict[int, float] = {}
+        for k in range(1, core_count + 1):
+            t_mk = t_m1 * ratios_g[k]
+            per_mtl[k] = model.speedup(t_mk, t_c, k, t_mn)
+        best_mtl = max(per_mtl, key=lambda k: (per_mtl[k], -k))
+        predictions.append(
+            MtlPrediction(
+                ratio=ratio,
+                best_mtl=best_mtl,
+                speedup=per_mtl[best_mtl],
+                per_mtl_speedup=per_mtl,
+            )
+        )
+    return predictions

@@ -1,0 +1,156 @@
+"""MTL selection (Section IV-C of the paper).
+
+The paper proves two monotonicity lemmas from the analytical model:
+
+* among all-busy MTLs, the *lowest* wins (``T_mk`` grows with ``k``
+  while ``T_c`` is constant);
+* among some-idle MTLs, the *highest* wins (queueing latency grows
+  sub-proportionally to ``k`` because of the contention-free
+  component: ``T_mb / T_m(b+1) > b / (b+1)``).
+
+The candidate set therefore shrinks from ``n`` to two: ``MTL_NoIdle``
+(the minimum all-busy MTL) and ``MTL_Idle = MTL_NoIdle - 1`` (the
+maximum some-idle MTL), found by binary search over measured
+``(T_mk, T_c)`` windows.  Their speedups share the factor
+``(T_mn + T_c)``, so the comparison needs no unthrottled measurement.
+
+:class:`MtlSelector` is an *interactive* state machine because each
+measurement requires actually running ``W`` task pairs at the
+candidate MTL: the caller loops ``next_probe() -> run window ->
+provide()`` until :meth:`next_probe` returns ``None``, then reads
+:meth:`decision`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MeasurementError, ModelError
+from repro.core.model import AnalyticalModel
+
+__all__ = ["MtlDecision", "MtlSelector"]
+
+
+@dataclass(frozen=True)
+class MtlDecision:
+    """Outcome of one MTL selection.
+
+    Attributes:
+        selected_mtl: The chosen constraint (*D-MTL*).
+        mtl_no_idle: Minimum all-busy MTL found by the search.
+        mtl_idle: Maximum some-idle MTL (``None`` when every MTL keeps
+            all cores busy, i.e. ``mtl_no_idle == 1``).
+        busy_metric: All-busy candidate's speedup divided by
+            ``(T_mn + T_c)``.
+        idle_metric: Some-idle candidate's comparable metric (``None``
+            without an idle candidate).
+        probes_used: Number of measured windows consumed, the
+            monitoring cost the pruning is designed to minimise.
+        measurements: ``mtl -> (t_m, t_c)`` as measured.
+    """
+
+    selected_mtl: int
+    mtl_no_idle: int
+    mtl_idle: Optional[int]
+    busy_metric: float
+    idle_metric: Optional[float]
+    probes_used: int
+    measurements: Dict[int, Tuple[float, float]]
+
+
+class MtlSelector:
+    """Binary-search selector over measured MTL windows."""
+
+    def __init__(self, model: AnalyticalModel) -> None:
+        self._model = model
+        self._lo = 1
+        self._hi = model.core_count
+        self._measurements: Dict[int, Tuple[float, float]] = {}
+        self._probes = 0
+        self._decision: Optional[MtlDecision] = None
+        self._needed: Optional[int] = None
+        self._advance()
+
+    @property
+    def done(self) -> bool:
+        return self._decision is not None
+
+    def next_probe(self) -> Optional[int]:
+        """MTL that must be measured next, or ``None`` when decided."""
+        if self._decision is not None:
+            return None
+        return self._needed
+
+    def provide(self, mtl: int, t_m: float, t_c: float) -> None:
+        """Supply the measured ``(T_mk, T_c)`` window for ``mtl``.
+
+        Seeding with an already-available measurement (e.g. the
+        monitoring window at the current MTL) is allowed at any point
+        and may shorten the search.
+        """
+        if self._decision is not None:
+            raise MeasurementError("selection already decided")
+        if not 1 <= mtl <= self._model.core_count:
+            raise ModelError(
+                f"mtl {mtl} outside [1, {self._model.core_count}]"
+            )
+        if mtl in self._measurements:
+            raise MeasurementError(f"MTL {mtl} measured twice")
+        if t_m <= 0:
+            raise MeasurementError(f"t_m must be positive, got {t_m}")
+        if t_c < 0:
+            raise MeasurementError(f"t_c must be non-negative, got {t_c}")
+        self._measurements[mtl] = (t_m, t_c)
+        self._probes += 1
+        self._advance()
+
+    def decision(self) -> MtlDecision:
+        if self._decision is None:
+            raise MeasurementError(
+                f"selection still needs a measurement at MTL {self._needed}"
+            )
+        return self._decision
+
+    def _advance(self) -> None:
+        """Drive the binary search as far as measurements allow."""
+        while self._lo < self._hi:
+            mid = (self._lo + self._hi) // 2
+            if mid not in self._measurements:
+                self._needed = mid
+                return
+            t_m, t_c = self._measurements[mid]
+            if self._model.cores_idle(t_m, t_c, mid):
+                self._lo = mid + 1
+            else:
+                self._hi = mid
+
+        no_idle = self._lo
+        if no_idle not in self._measurements:
+            self._needed = no_idle
+            return
+        idle = no_idle - 1 if no_idle > 1 else None
+        if idle is not None and idle not in self._measurements:
+            self._needed = idle
+            return
+        self._finalise(no_idle, idle)
+
+    def _finalise(self, no_idle: int, idle: Optional[int]) -> None:
+        t_m_busy, t_c_busy = self._measurements[no_idle]
+        busy_metric = self._model.busy_selection_metric(t_m_busy, t_c_busy)
+        idle_metric: Optional[float] = None
+        selected = no_idle
+        if idle is not None:
+            t_m_idle, _ = self._measurements[idle]
+            idle_metric = self._model.idle_selection_metric(t_m_idle, idle)
+            if idle_metric > busy_metric:
+                selected = idle
+        self._decision = MtlDecision(
+            selected_mtl=selected,
+            mtl_no_idle=no_idle,
+            mtl_idle=idle,
+            busy_metric=busy_metric,
+            idle_metric=idle_metric,
+            probes_used=self._probes,
+            measurements=dict(self._measurements),
+        )

@@ -1,0 +1,185 @@
+"""The run-time memory thread throttling mechanism (Section IV).
+
+:class:`DynamicThrottlingPolicy` is the paper's contribution assembled
+into a scheduling policy: it monitors ``W`` memory/compute task pairs
+at the current MTL, detects phase changes through the IdleBound
+criterion, and on a phase change binary-searches the two candidate
+MTLs with the analytical model, committing the winner (*D-MTL*) for
+the next phase.
+
+The policy is driven purely by task-completion callbacks, just as the
+real implementation is driven by ``gettimeofday()`` brackets around
+tasks.  While a selection is in flight the policy *runs* the program
+at each probe MTL for a window of ``W`` pairs — the monitoring
+overhead is physically simulated, not modelled away — and those tasks
+are flagged ``probe`` for overhead accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import AnalyticalModel
+from repro.core.phase import PairSample, PhaseChangeDetector
+from repro.core.selection import MtlDecision, MtlSelector
+from repro.errors import ConfigurationError
+from repro.sim.events import TaskRecord
+
+__all__ = ["DynamicThrottlingPolicy", "SelectionEvent"]
+
+
+@dataclass(frozen=True)
+class SelectionEvent:
+    """One completed MTL selection, for reporting."""
+
+    time: float
+    trigger_idle_bound: int
+    decision: MtlDecision
+
+
+@dataclass
+class _PairAssembler:
+    """Joins memory and compute records into pair samples.
+
+    A sample is valid only when its memory task ran under the MTL the
+    policy is currently measuring; pairs dispatched across an MTL
+    switch are dropped, mirroring the paper's exclusion of non-steady
+    measurements.
+    """
+
+    pending_memory: Dict[Tuple[int, int], Tuple[float, int]] = field(
+        default_factory=dict
+    )
+
+    def feed(self, record: TaskRecord) -> Optional[Tuple[PairSample, int]]:
+        key = (record.phase_index, record.pair_index)
+        if record.is_memory:
+            self.pending_memory[key] = (record.duration, record.mtl_at_dispatch)
+            return None
+        entry = self.pending_memory.pop(key, None)
+        if entry is None:
+            return None
+        t_m, mtl = entry
+        return PairSample(t_m=t_m, t_c=record.duration), mtl
+
+
+class DynamicThrottlingPolicy:
+    """The paper's dynamic memory thread throttling mechanism.
+
+    Args:
+        context_count: Schedulable contexts ``n`` (the analytical
+            model's core count).
+        window_pairs: ``W`` — pairs monitored per estimation window
+            (the paper sweeps 4..24 and finds 16 adequate for its
+            larger workloads, 8 for dft; Figure 15).
+        initial_mtl: Starting constraint; defaults to ``n``
+            (unthrottled), so the first window measures ``T_mn``.
+    """
+
+    def __init__(
+        self,
+        context_count: int,
+        window_pairs: int = 16,
+        initial_mtl: Optional[int] = None,
+    ) -> None:
+        if context_count < 1:
+            raise ConfigurationError(
+                f"context_count must be >= 1, got {context_count}"
+            )
+        self._model = AnalyticalModel(core_count=context_count)
+        self._detector = PhaseChangeDetector(self._model, window_pairs=window_pairs)
+        self._assembler = _PairAssembler()
+        self._mtl = initial_mtl if initial_mtl is not None else context_count
+        if not 1 <= self._mtl <= context_count:
+            raise ConfigurationError(
+                f"initial_mtl {self._mtl} outside [1, {context_count}]"
+            )
+        self._selector: Optional[MtlSelector] = None
+        self._probe_window: List[PairSample] = []
+        self._window_pairs = window_pairs
+        self.selections: List[SelectionEvent] = []
+        self._pending_trigger_bound: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return "dynamic-throttling"
+
+    @property
+    def window_pairs(self) -> int:
+        return self._window_pairs
+
+    @property
+    def windows_completed(self) -> int:
+        return self._detector.windows_completed
+
+    def current_mtl(self) -> int:
+        return self._mtl
+
+    def is_probing(self) -> bool:
+        return self._selector is not None
+
+    def on_task_complete(self, record: TaskRecord, now: float) -> None:
+        joined = self._assembler.feed(record)
+        if joined is None:
+            return
+        sample, sample_mtl = joined
+        if sample_mtl != self._mtl:
+            return  # pair straddled an MTL switch; not a steady sample
+
+        if self._selector is None:
+            self._monitor(sample, now)
+        else:
+            self._probe(sample, now)
+
+    # -- monitoring ----------------------------------------------------
+
+    def _monitor(self, sample: PairSample, now: float) -> None:
+        window = self._detector.observe(sample)
+        if window is None or not window.phase_changed:
+            return
+        # Phase change: start a selection, seeded with the window just
+        # measured at the current MTL (no wasted re-measurement).
+        selector = MtlSelector(self._model)
+        selector.provide(self._mtl, window.t_m, window.t_c)
+        self._pending_trigger_bound = window.idle_bound
+        self._finish_or_continue_selection(selector, now)
+
+    # -- probing -------------------------------------------------------
+
+    def _probe(self, sample: PairSample, now: float) -> None:
+        self._probe_window.append(sample)
+        if len(self._probe_window) < self._window_pairs:
+            return
+        t_m = sum(s.t_m for s in self._probe_window) / len(self._probe_window)
+        t_c = sum(s.t_c for s in self._probe_window) / len(self._probe_window)
+        self._probe_window.clear()
+        assert self._selector is not None
+        self._selector.provide(self._mtl, t_m, t_c)
+        self._finish_or_continue_selection(self._selector, now)
+
+    def _finish_or_continue_selection(
+        self, selector: MtlSelector, now: float
+    ) -> None:
+        next_probe = selector.next_probe()
+        if next_probe is not None:
+            self._selector = selector
+            self._mtl = next_probe
+            self._probe_window.clear()
+            return
+        decision = selector.decision()
+        self.selections.append(
+            SelectionEvent(
+                time=now,
+                trigger_idle_bound=self._pending_trigger_bound or 0,
+                decision=decision,
+            )
+        )
+        self._selector = None
+        self._mtl = decision.selected_mtl
+        # The reference IdleBound the monitor compares against must be
+        # the bound as measured at the *selected* MTL, else the very
+        # next window would re-trigger.
+        t_m, t_c = decision.measurements[decision.selected_mtl]
+        self._detector.set_reference(self._model.idle_bound(t_m, t_c))
+        self._detector.reset_window()

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems raise the narrower
+subclasses below; each carries enough context in its message to diagnose
+the failing configuration without a debugger.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchedulingError",
+    "SimulationError",
+    "TaskGraphError",
+    "WorkloadError",
+    "ModelError",
+    "MeasurementError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, memory-system, or policy configuration.
+
+    Raised eagerly at construction time (e.g. a zero core count, an MTL
+    outside ``[1, n]``, a negative latency) so that bad parameters never
+    reach the simulator.
+    """
+
+
+class TaskGraphError(ReproError):
+    """A malformed stream task graph (cycles, dangling dependencies)."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition that cannot be realised as a stream program."""
+
+
+class SchedulingError(ReproError):
+    """An internal scheduling invariant was violated.
+
+    This indicates a bug in a scheduling policy (e.g. more concurrent
+    memory tasks than the MTL gate permits) rather than bad user input.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ModelError(ReproError):
+    """Invalid inputs to the analytical performance model."""
+
+
+class MeasurementError(ReproError):
+    """A measurement protocol was given insufficient or invalid samples."""

@@ -1,0 +1,54 @@
+"""Memory-system substrate.
+
+This package models the off-chip memory system of the evaluation
+machine.  It provides three layers of fidelity:
+
+* :mod:`repro.memory.contention` — closed-form per-request latency
+  models parameterised by the number of concurrent memory tasks.  The
+  :class:`~repro.memory.contention.LinearContentionModel` implements the
+  exact queueing law the paper assumes (``L(c) = T_ml + c * T_ql``).
+* :mod:`repro.memory.dram` — a bank/row-buffer-level DRAM timing
+  simulator with an FR-FCFS controller, used to validate that the
+  linear law is a faithful summary of streaming-access contention.
+* :mod:`repro.memory.cache` — a last-level-cache capacity model that
+  decides what fraction of a compute task's accesses spill off-chip
+  when a memory task's footprint exceeds the cache share.
+
+:mod:`repro.memory.equilibrium` ties the layers together by solving for
+the *effective* memory concurrency when compute tasks with non-zero
+miss fractions coexist with pure memory tasks, and
+:mod:`repro.memory.system` packages everything behind one façade used
+by the machine simulator.
+"""
+
+from repro.memory.cache import LastLevelCache
+from repro.memory.calibration import CalibrationResult, calibrate_linear_model
+from repro.memory.contention import (
+    BandwidthShareModel,
+    ContentionModel,
+    LinearContentionModel,
+    PowerLawContentionModel,
+    nehalem_ddr3_contention,
+)
+from repro.memory.empirical import EmpiricalContentionModel
+from repro.memory.equilibrium import MemoryDemand, effective_concurrency
+from repro.memory.system import MemorySystem
+from repro.memory.timing import DDR3_1066, DDR3_1333, DramTiming
+
+__all__ = [
+    "BandwidthShareModel",
+    "CalibrationResult",
+    "calibrate_linear_model",
+    "ContentionModel",
+    "DDR3_1066",
+    "DDR3_1333",
+    "DramTiming",
+    "EmpiricalContentionModel",
+    "LastLevelCache",
+    "LinearContentionModel",
+    "MemoryDemand",
+    "MemorySystem",
+    "PowerLawContentionModel",
+    "effective_concurrency",
+    "nehalem_ddr3_contention",
+]

@@ -1,0 +1,90 @@
+"""Last-level cache capacity model.
+
+The stream programming discipline (Section II of the paper) requires
+that a memory task's footprint fit in the last-level cache so that its
+companion compute task runs miss-free.  The paper deliberately violates
+this in one experiment — the 2 MB-footprint synthetic sweep of
+Figure 13(c) — and observes that compute tasks then interfere with
+memory tasks and break the analytical model.
+
+This module decides *how much* a compute task spills off-chip for a
+given footprint.  The model: the shared LLC is divided equally among
+the cores actively holding stream data; a fixed per-core overhead
+(instructions, stack, runtime metadata) reduces the useful share; any
+excess footprint beyond the share is re-fetched on every compute-task
+traversal, making that fraction of the task's accesses off-chip
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import mebibytes
+
+__all__ = ["LastLevelCache"]
+
+
+@dataclass(frozen=True)
+class LastLevelCache:
+    """Capacity model of a shared last-level cache.
+
+    Attributes:
+        capacity_bytes: Total LLC capacity (8 MB on the i7-860).
+        sharers: Number of cores whose stream footprints share the
+            cache concurrently (the core count of the machine).
+        overhead_bytes: Per-core bytes consumed by code, stack, and
+            runtime metadata and therefore unavailable to stream data.
+    """
+
+    capacity_bytes: int
+    sharers: int
+    overhead_bytes: int = mebibytes(0.25)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes must be positive, got {self.capacity_bytes}"
+            )
+        if self.sharers <= 0:
+            raise ConfigurationError(f"sharers must be positive, got {self.sharers}")
+        if self.overhead_bytes < 0:
+            raise ConfigurationError(
+                f"overhead_bytes must be non-negative, got {self.overhead_bytes}"
+            )
+
+    @property
+    def per_core_share_bytes(self) -> int:
+        """Stream-data bytes one core can keep resident."""
+        share = self.capacity_bytes // self.sharers - self.overhead_bytes
+        return max(share, 0)
+
+    def fits(self, footprint_bytes: int) -> bool:
+        """Whether a memory task's footprint stays resident for its
+        compute task (the stream-programming contract)."""
+        if footprint_bytes < 0:
+            raise ConfigurationError(
+                f"footprint_bytes must be non-negative, got {footprint_bytes}"
+            )
+        return footprint_bytes <= self.per_core_share_bytes
+
+    def miss_fraction(self, footprint_bytes: int) -> float:
+        """Fraction of a compute task's accesses that go off-chip.
+
+        Zero when the footprint fits.  Otherwise the excess portion of
+        the working set is evicted between traversals and must be
+        re-fetched, so ``excess / footprint`` of the accesses miss.
+        The result is in ``[0, 1]``.
+        """
+        if footprint_bytes < 0:
+            raise ConfigurationError(
+                f"footprint_bytes must be non-negative, got {footprint_bytes}"
+            )
+        if footprint_bytes == 0:
+            return 0.0
+        share = self.per_core_share_bytes
+        if footprint_bytes <= share:
+            return 0.0
+        excess = footprint_bytes - share
+        return min(excess / footprint_bytes, 1.0)

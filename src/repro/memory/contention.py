@@ -1,0 +1,189 @@
+"""Closed-form memory-contention models.
+
+A contention model answers one question: *what is the average per-request
+(per cache line) latency seen by a memory task when the memory system
+serves an effective concurrency of ``c`` memory tasks?*
+
+The paper's analytical model (Section IV-C) decomposes the memory-task
+time under ``MTL = b`` into a contention-free component ``T_ml`` and a
+queueing component proportional to the concurrency, ``b * T_ql``.  The
+:class:`LinearContentionModel` implements exactly that law; Section VI-A
+of the paper shows it matches a real Nehalem for streaming tasks, and our
+bank-level DRAM simulator (:mod:`repro.memory.dram`) re-validates it.
+
+Two alternatives are provided for ablation studies:
+
+* :class:`PowerLawContentionModel` — super-/sub-linear queueing growth,
+  ``L(c) = T_ml + T_ql * (c / channels) ** alpha``; models bank-conflict
+  amplification (``alpha > 1``) or deep-queue pipelining (``alpha < 1``).
+* :class:`BandwidthShareModel` — a pure bandwidth-partitioning view in
+  which latency is flat until the pin bandwidth saturates and grows
+  linearly afterwards.
+
+All models share the invariant that latency is positive and
+non-decreasing in concurrency, which the property-based tests enforce
+and the paper's MTL-selection monotonicity proofs require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.units import CACHE_LINE_BYTES, NANOSECONDS
+
+__all__ = [
+    "ContentionModel",
+    "LinearContentionModel",
+    "PowerLawContentionModel",
+    "BandwidthShareModel",
+    "nehalem_ddr3_contention",
+]
+
+
+@runtime_checkable
+class ContentionModel(Protocol):
+    """Protocol implemented by all contention models."""
+
+    def request_latency(self, concurrency: float, channels: int = 1) -> float:
+        """Average seconds per 64-byte request at the given concurrency.
+
+        Args:
+            concurrency: Effective number of concurrent memory tasks.
+                May be fractional (compute tasks with partial miss
+                rates contribute fractional demand); values below 1 are
+                clamped to 1 because a task always competes at least
+                with itself.
+            channels: Number of independent memory channels the
+                requests are interleaved across.
+        """
+
+
+def _validate_concurrency(concurrency: float, channels: int) -> float:
+    if channels < 1:
+        raise ConfigurationError(f"channels must be >= 1, got {channels}")
+    if concurrency < 0:
+        raise ConfigurationError(f"concurrency must be >= 0, got {concurrency}")
+    return max(concurrency, 1.0)
+
+
+@dataclass(frozen=True)
+class LinearContentionModel:
+    """The paper's queueing law: ``L(c) = T_ml + (c / channels) * T_ql``.
+
+    ``T_ml`` is the contention-free latency and ``T_ql`` the queueing
+    latency added per concurrent memory task (Table I of the paper).
+    Interleaving across ``channels`` divides the queueing pressure.
+
+    Attributes:
+        contention_free_latency: ``T_ml`` in seconds per request.
+        queueing_latency: ``T_ql`` in seconds per request per
+            concurrent task on a single channel.
+    """
+
+    contention_free_latency: float
+    queueing_latency: float
+
+    def __post_init__(self) -> None:
+        if self.contention_free_latency <= 0:
+            raise ConfigurationError(
+                "contention_free_latency must be positive, got "
+                f"{self.contention_free_latency}"
+            )
+        if self.queueing_latency < 0:
+            raise ConfigurationError(
+                f"queueing_latency must be non-negative, got {self.queueing_latency}"
+            )
+
+    def request_latency(self, concurrency: float, channels: int = 1) -> float:
+        c = _validate_concurrency(concurrency, channels)
+        return self.contention_free_latency + self.queueing_latency * c / channels
+
+    def latency_ratio(self, concurrency: float, channels: int = 1) -> float:
+        """``L(c) / L(1)`` — how much slower a request is than solo."""
+        return self.request_latency(concurrency, channels) / self.request_latency(
+            1.0, channels
+        )
+
+
+@dataclass(frozen=True)
+class PowerLawContentionModel:
+    """``L(c) = T_ml + T_ql * (c / channels) ** alpha``.
+
+    ``alpha = 1`` degenerates to :class:`LinearContentionModel`;
+    ``alpha > 1`` models bank-conflict and row-buffer-interference
+    amplification; ``alpha < 1`` models controllers that pipeline deep
+    queues well.
+    """
+
+    contention_free_latency: float
+    queueing_latency: float
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.contention_free_latency <= 0:
+            raise ConfigurationError(
+                "contention_free_latency must be positive, got "
+                f"{self.contention_free_latency}"
+            )
+        if self.queueing_latency < 0:
+            raise ConfigurationError(
+                f"queueing_latency must be non-negative, got {self.queueing_latency}"
+            )
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+
+    def request_latency(self, concurrency: float, channels: int = 1) -> float:
+        c = _validate_concurrency(concurrency, channels)
+        return self.contention_free_latency + self.queueing_latency * (
+            c / channels
+        ) ** self.alpha
+
+
+@dataclass(frozen=True)
+class BandwidthShareModel:
+    """Latency from equal division of pin bandwidth.
+
+    Below saturation every stream sees the unloaded latency; beyond it,
+    each of the ``c`` streams receives ``peak_bandwidth * channels / c``
+    bytes per second, so the per-line service time grows linearly.
+
+    Attributes:
+        unloaded_latency: Seconds per request with an idle bus.
+        peak_bandwidth: Bytes per second deliverable by one channel.
+    """
+
+    unloaded_latency: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.unloaded_latency <= 0:
+            raise ConfigurationError(
+                f"unloaded_latency must be positive, got {self.unloaded_latency}"
+            )
+        if self.peak_bandwidth <= 0:
+            raise ConfigurationError(
+                f"peak_bandwidth must be positive, got {self.peak_bandwidth}"
+            )
+
+    def request_latency(self, concurrency: float, channels: int = 1) -> float:
+        c = _validate_concurrency(concurrency, channels)
+        service_time = CACHE_LINE_BYTES * c / (self.peak_bandwidth * channels)
+        return max(self.unloaded_latency, service_time)
+
+
+def nehalem_ddr3_contention() -> LinearContentionModel:
+    """Calibrated model for the paper's i7-860 / DDR3-1066 testbed.
+
+    ``T_ml = 46.3 ns`` and ``T_ql = 18 ns`` give ``L(1) ~ 64 ns`` (a
+    realistic loaded DDR3 round trip) and ``L(4)/L(1) ~ 1.84``, which
+    places the synthetic-sweep peak speedup at ``(L(4)/L(1) + 3)/4 ~
+    1.21`` — the maximum the paper measures on the real machine
+    (Section VI-A), and keeps the S-MTL region boundaries at
+    ``T_m1/T_c = k/(n-k)`` as in Figure 13.
+    """
+    return LinearContentionModel(
+        contention_free_latency=46.3 * NANOSECONDS,
+        queueing_latency=18.0 * NANOSECONDS,
+    )

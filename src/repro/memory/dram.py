@@ -1,0 +1,365 @@
+"""Bank-level DRAM timing simulator.
+
+The analytical model of the paper rests on one microarchitectural
+assumption (Section IV-C): the average memory-task latency under an
+MTL of ``b`` decomposes as ``T_ml + b * T_ql`` — contention adds a
+queueing term *linear* in the number of concurrent streaming tasks.
+The paper validates this on a real Nehalem; a reproduction without the
+hardware needs its own evidence, which this module provides.
+
+It simulates ``s`` concurrent streaming agents (one per memory task)
+issuing sequential 64-byte reads from disjoint address regions into a
+DDR3 memory system with channels, ranks, and banks.  The controller
+implements FR-FCFS (row hits first, then oldest).  Banks prepare rows
+in parallel; the channel data bus serialises bursts; row conflicts pay
+precharge + activate and respect ``tRAS``.
+
+:func:`measure_latency_curve` sweeps the number of agents and reports
+the mean per-request latency at each concurrency, which the ablation
+benchmark fits against the linear law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.timing import DDR3_1066, DramTiming
+from repro.units import CACHE_LINE_BYTES, MIB
+
+__all__ = [
+    "DramAddress",
+    "AddressMapper",
+    "DramRequest",
+    "DramStats",
+    "DramSimulator",
+    "FrFcfsController",
+    "measure_latency_curve",
+]
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """Decoded location of one cache line in the memory system."""
+
+    channel: int
+    bank: int  # flat bank index within the channel (rank folded in)
+    row: int
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Physical-address to (channel, bank, row) decoder.
+
+    Uses the mapping common to stream-friendly controllers: cache lines
+    interleave across channels at line granularity; within a channel,
+    consecutive lines fill a row, rows interleave across banks.  A
+    sequential stream therefore enjoys long row-hit runs while distinct
+    streams (different regions) land on different rows and collide on
+    banks only occasionally.
+    """
+
+    timing: DramTiming
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigurationError(f"channels must be >= 1, got {self.channels}")
+
+    #: Fibonacci-hash multiplier used to spread row runs across banks.
+    #: A plain ``row_run % banks`` mapping sends power-of-two-aligned
+    #: buffers (exactly what distinct stream regions are) to the same
+    #: bank, which no real controller tolerates; address-bit hashing is
+    #: the standard fix.
+    _BANK_HASH_MULTIPLIER = 2654435761
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.timing.row_bytes // CACHE_LINE_BYTES
+
+    def decode(self, byte_address: int) -> DramAddress:
+        """Decode a byte address into a :class:`DramAddress`."""
+        if byte_address < 0:
+            raise ConfigurationError(
+                f"byte_address must be non-negative, got {byte_address}"
+            )
+        line = byte_address // CACHE_LINE_BYTES
+        channel = line % self.channels
+        channel_line = line // self.channels
+        row_run = channel_line // self.lines_per_row
+        hashed = (row_run * self._BANK_HASH_MULTIPLIER) >> 12
+        bank = hashed % self.timing.banks_per_channel
+        row = row_run // self.timing.banks_per_channel
+        return DramAddress(channel=channel, bank=bank, row=row)
+
+
+@dataclass
+class DramRequest:
+    """One outstanding 64-byte read."""
+
+    stream_id: int
+    address: DramAddress
+    arrival: float
+    completion: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        if self.completion is None:
+            raise SimulationError("request has not completed")
+        return self.completion - self.arrival
+
+
+@dataclass
+class _BankState:
+    ready_time: float = 0.0
+    open_row: Optional[int] = None
+    activate_time: float = 0.0
+
+
+@dataclass
+class _ChannelState:
+    bus_free_time: float = 0.0
+    banks: List[_BankState] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DramStats:
+    """Aggregate results of one simulation run."""
+
+    mean_latency: float
+    max_latency: float
+    row_hit_rate: float
+    total_time: float
+    requests: int
+
+    @property
+    def bandwidth_bytes_per_second(self) -> float:
+        if self.total_time <= 0:
+            return 0.0
+        return self.requests * CACHE_LINE_BYTES / self.total_time
+
+
+class DramSimulator:
+    """FR-FCFS DRAM controller simulation for streaming agents.
+
+    Args:
+        timing: DRAM device grade (defaults to the paper's DDR3-1066).
+        channels: Independent channels (1 for the paper's 1-DIMM
+            configuration, 2 for the 2-DIMM scalability study).
+        stream_region_bytes: Size of the disjoint region each stream
+            walks; streams start ``stream_region_bytes`` apart so their
+            rows differ, as separate stream buffers would.
+    """
+
+    def __init__(
+        self,
+        timing: DramTiming = DDR3_1066,
+        channels: int = 1,
+        stream_region_bytes: int = 4 * MIB,
+    ) -> None:
+        if channels < 1:
+            raise ConfigurationError(f"channels must be >= 1, got {channels}")
+        if stream_region_bytes < CACHE_LINE_BYTES:
+            raise ConfigurationError(
+                "stream_region_bytes must hold at least one line, got "
+                f"{stream_region_bytes}"
+            )
+        self.timing = timing
+        self.channels = channels
+        self.stream_region_bytes = stream_region_bytes
+        self.mapper = AddressMapper(timing=timing, channels=channels)
+
+    def run(self, streams: int, requests_per_stream: int) -> DramStats:
+        """Simulate ``streams`` agents each reading sequentially.
+
+        Each agent keeps exactly one request outstanding (the paper's
+        memory tasks walk arrays with software prefetch, which behaves
+        like a short dependent chain per task) and issues the next
+        request the moment the previous one completes.
+        """
+        if streams < 1:
+            raise ConfigurationError(f"streams must be >= 1, got {streams}")
+        if requests_per_stream < 1:
+            raise ConfigurationError(
+                f"requests_per_stream must be >= 1, got {requests_per_stream}"
+            )
+
+        controller = FrFcfsController(timing=self.timing, channels=self.channels)
+        next_line: List[int] = [
+            s * self.stream_region_bytes // CACHE_LINE_BYTES for s in range(streams)
+        ]
+        remaining = [requests_per_stream] * streams
+        for s in range(streams):
+            controller.submit(self._issue(s, next_line, arrival=0.0))
+
+        completed: List[DramRequest] = []
+        hits = 0
+        total = streams * requests_per_stream
+        while len(completed) < total:
+            request, was_hit = controller.service_one()
+            completed.append(request)
+            if was_hit:
+                hits += 1
+            stream = request.stream_id
+            remaining[stream] -= 1
+            if remaining[stream] > 0:
+                assert request.completion is not None
+                controller.submit(
+                    self._issue(stream, next_line, arrival=request.completion)
+                )
+
+        mean_latency = sum(r.latency for r in completed) / total
+        max_latency = max(r.latency for r in completed)
+        finish = max(r.completion for r in completed if r.completion is not None)
+        return DramStats(
+            mean_latency=mean_latency,
+            max_latency=max_latency,
+            row_hit_rate=hits / total,
+            total_time=finish,
+            requests=total,
+        )
+
+    def _issue(
+        self, stream: int, next_line: List[int], arrival: float
+    ) -> DramRequest:
+        line = next_line[stream]
+        next_line[stream] = line + 1
+        address = self.mapper.decode(line * CACHE_LINE_BYTES)
+        return DramRequest(stream_id=stream, address=address, arrival=arrival)
+
+
+class FrFcfsController:
+    """Incremental FR-FCFS memory controller.
+
+    Holds the bank/bus state and a pending-request queue; every
+    :meth:`service_one` call picks the highest-priority pending
+    request (row hits first among the earliest-startable, oldest
+    otherwise, with an age cap against starvation), commits its
+    timing against the bank and channel-bus state, and returns it with
+    its absolute completion time filled in.
+
+    Used in batch mode by :class:`DramSimulator` and incrementally by
+    the request-level machine simulator
+    (:mod:`repro.sim.detailed`), which co-simulates CPU scheduling
+    with this controller.
+    """
+
+    def __init__(self, timing: DramTiming = DDR3_1066, channels: int = 1) -> None:
+        if channels < 1:
+            raise ConfigurationError(f"channels must be >= 1, got {channels}")
+        self.timing = timing
+        self.channels = channels
+        self.mapper = AddressMapper(timing=timing, channels=channels)
+        self._channel_states = [
+            _ChannelState(
+                banks=[_BankState() for _ in range(timing.banks_per_channel)]
+            )
+            for _ in range(channels)
+        ]
+        self._pending: List[DramRequest] = []
+        self.serviced = 0
+        self.row_hits = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def submit(self, request: DramRequest) -> None:
+        """Queue one request for service."""
+        self._pending.append(request)
+
+    def decode(self, byte_address: int) -> DramAddress:
+        """Expose the controller's address mapping."""
+        return self.mapper.decode(byte_address)
+
+    def service_one(self) -> Tuple[DramRequest, bool]:
+        """Pick and complete one request under FR-FCFS.
+
+        Among the pending requests able to start earliest, row hits win,
+        then the oldest arrival — the FR-FCFS priority order.
+        """
+        pending = self._pending
+        channel_states = self._channel_states
+        if not pending:
+            raise SimulationError("no pending requests to service")
+
+        def feasible_start(req: DramRequest) -> float:
+            channel = channel_states[req.address.channel]
+            bank = channel.banks[req.address.bank]
+            return max(req.arrival, bank.ready_time)
+
+        earliest = min(feasible_start(r) for r in pending)
+        # Age cap: pure hit-first FR-FCFS lets a sequential stream
+        # monopolise its open row indefinitely; controllers bound the
+        # wait, after which the oldest request wins unconditionally.
+        starvation_threshold = 32 * self.timing.row_conflict_latency
+        starving = any(
+            earliest - r.arrival > starvation_threshold for r in pending
+        )
+
+        def priority(req: DramRequest) -> Tuple[float, int, float]:
+            start = feasible_start(req)
+            channel = channel_states[req.address.channel]
+            bank = channel.banks[req.address.bank]
+            is_hit = bank.open_row == req.address.row
+            # Requests startable at the global earliest time compete by
+            # FR-FCFS; later-feasible requests are considered only if
+            # nothing else can go.
+            startable_now = 0 if start <= earliest else 1
+            hit_rank = 0 if (is_hit and not starving) else 1
+            return (startable_now, hit_rank, req.arrival)
+
+        chosen = min(pending, key=priority)
+        pending.remove(chosen)
+
+        timing = self.timing
+        channel = channel_states[chosen.address.channel]
+        bank = channel.banks[chosen.address.bank]
+        start = max(chosen.arrival, bank.ready_time)
+        was_hit = bank.open_row == chosen.address.row
+
+        if was_hit:
+            data_ready = start + timing.cycles(timing.t_cl)
+        elif bank.open_row is None:
+            bank.activate_time = start
+            data_ready = start + timing.cycles(timing.t_rcd + timing.t_cl)
+        else:
+            # Row conflict: precharge may not begin before tRAS elapses
+            # from the activate that opened the current row.
+            precharge_start = max(
+                start, bank.activate_time + timing.cycles(timing.t_ras)
+            )
+            bank.activate_time = precharge_start + timing.cycles(timing.t_rp)
+            data_ready = bank.activate_time + timing.cycles(
+                timing.t_rcd + timing.t_cl
+            )
+
+        burst_start = max(data_ready, channel.bus_free_time)
+        completion = burst_start + timing.cycles(timing.t_burst)
+        channel.bus_free_time = completion
+        bank.ready_time = completion
+        bank.open_row = chosen.address.row
+        chosen.completion = completion
+        self.serviced += 1
+        if was_hit:
+            self.row_hits += 1
+        return chosen, was_hit
+
+
+def measure_latency_curve(
+    concurrencies: Sequence[int],
+    requests_per_stream: int = 2048,
+    timing: DramTiming = DDR3_1066,
+    channels: int = 1,
+) -> Dict[int, DramStats]:
+    """Mean request latency as a function of stream concurrency.
+
+    This is the curve the ablation benchmark fits against the paper's
+    linear law ``L(c) = T_ml + c * T_ql``.
+    """
+    results: Dict[int, DramStats] = {}
+    simulator = DramSimulator(timing=timing, channels=channels)
+    for c in concurrencies:
+        results[c] = simulator.run(streams=c, requests_per_stream=requests_per_stream)
+    return results

@@ -1,0 +1,113 @@
+"""Empirical contention model sampled from the bank-level DRAM model.
+
+The closed-form laws in :mod:`repro.memory.contention` are *assumed*
+shapes.  This model assumes nothing: it runs the detailed
+FR-FCFS/bank-level simulator at every integer concurrency once,
+tabulates the measured mean request latency, and interpolates between
+table entries.  Plugging it into a machine preset yields an
+end-to-end pipeline in which the only memory-latency source is the
+microarchitectural model — the strongest internal validation the
+reproduction can offer for its closed-form calibration (see
+``benchmarks/test_ablation_empirical_memory.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memory.dram import measure_latency_curve
+from repro.memory.timing import DDR3_1066, DramTiming
+
+__all__ = ["EmpiricalContentionModel"]
+
+
+class EmpiricalContentionModel:
+    """Latency law tabulated from bank-level DRAM measurements.
+
+    The table is built eagerly at construction (one detailed run per
+    integer concurrency up to ``max_concurrency``); queries
+    interpolate linearly between entries and extrapolate the last
+    segment beyond the table.
+
+    Args:
+        timing: DRAM device grade to measure.
+        max_concurrency: Largest stream count to tabulate; queries
+            beyond it extrapolate the final segment's slope.
+        requests_per_stream: Streaming depth per measurement (larger
+            is smoother but slower to build).
+        channels_measured: Channel configurations to pre-measure; a
+            query for an unmeasured channel count raises, because
+            silently reusing another channel's table would defeat the
+            model's purpose.
+    """
+
+    def __init__(
+        self,
+        timing: DramTiming = DDR3_1066,
+        max_concurrency: int = 8,
+        requests_per_stream: int = 1024,
+        channels_measured: Sequence[int] = (1, 2),
+    ) -> None:
+        if max_concurrency < 2:
+            raise ConfigurationError(
+                f"max_concurrency must be >= 2, got {max_concurrency}"
+            )
+        if not channels_measured:
+            raise ConfigurationError("channels_measured must be non-empty")
+        self.timing = timing
+        self.max_concurrency = max_concurrency
+        self._tables: Dict[int, Tuple[float, ...]] = {}
+        concurrencies = list(range(1, max_concurrency + 1))
+        for channels in channels_measured:
+            curve = measure_latency_curve(
+                concurrencies,
+                requests_per_stream=requests_per_stream,
+                timing=timing,
+                channels=channels,
+            )
+            # Enforce monotonicity (running max): the equilibrium
+            # solver requires a non-decreasing latency law, and tiny
+            # measurement dips between adjacent concurrencies would
+            # otherwise break its convergence guarantee.
+            table = []
+            ceiling = 0.0
+            for c in concurrencies:
+                ceiling = max(ceiling, curve[c].mean_latency)
+                table.append(ceiling)
+            self._tables[channels] = tuple(table)
+
+    def measured_channels(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._tables))
+
+    def table(self, channels: int = 1) -> Tuple[float, ...]:
+        """The tabulated latencies ``L(1) .. L(max_concurrency)``."""
+        self._require_channel(channels)
+        return self._tables[channels]
+
+    def request_latency(self, concurrency: float, channels: int = 1) -> float:
+        """Interpolated per-request latency (the ContentionModel API)."""
+        self._require_channel(channels)
+        if concurrency < 0:
+            raise ConfigurationError(
+                f"concurrency must be >= 0, got {concurrency}"
+            )
+        table = self._tables[channels]
+        c = max(concurrency, 1.0)
+        if c >= self.max_concurrency:
+            # Extrapolate the last segment.
+            slope = table[-1] - table[-2]
+            return table[-1] + slope * (c - self.max_concurrency)
+        lower = int(c)
+        fraction = c - lower
+        low_latency = table[lower - 1]
+        high_latency = table[lower]
+        return low_latency + fraction * (high_latency - low_latency)
+
+    def _require_channel(self, channels: int) -> None:
+        if channels not in self._tables:
+            raise ConfigurationError(
+                f"channel count {channels} was not measured; this model "
+                f"holds tables for {sorted(self._tables)} — construct it "
+                "with the channel configurations you intend to query"
+            )

@@ -1,0 +1,112 @@
+"""Effective-concurrency equilibrium solver.
+
+When every running memory-bound task is a *pure* memory task, the
+memory concurrency is simply the number of such tasks, and the paper's
+``T_mk = requests * L(k)`` holds directly.  The Figure 13(c) regime
+breaks that purity: compute tasks whose footprints overflow the LLC
+also issue off-chip requests, so they both *suffer* contention and
+*contribute* to it — but only for the fraction of their time actually
+spent waiting on memory.
+
+We model each running task ``i`` by its per-work-unit demand: ``a_i``
+seconds of CPU work and ``m_i`` off-chip requests.  At a candidate
+concurrency ``c`` the task spends a fraction
+
+    ``w_i(c) = m_i * L(c) / (a_i + m_i * L(c))``
+
+of its wall-clock time occupying the memory system, which is exactly
+its contribution to concurrency.  The effective concurrency is the
+fixed point of ``F(c) = sum_i w_i(c)``.
+
+``F`` is non-decreasing in ``c`` (because ``L`` is) and bounded by the
+number of memory-demanding tasks ``N``, so iterating from ``c = N``
+produces a monotonically decreasing, convergent sequence; the limit is
+the greatest fixed point.  Pure memory tasks have ``a_i = 0`` and
+``w_i = 1`` identically, recovering the paper's model exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ModelError
+
+__all__ = ["MemoryDemand", "effective_concurrency"]
+
+
+@dataclass(frozen=True)
+class MemoryDemand:
+    """Per-work-unit resource demand of one running task.
+
+    Attributes:
+        cpu_seconds_per_unit: CPU time ``a_i`` one work unit needs.
+        requests_per_unit: Off-chip requests ``m_i`` one work unit
+            issues.  A pure memory task has ``cpu_seconds_per_unit=0``
+            and ``requests_per_unit=1``; a miss-free compute task has
+            ``requests_per_unit=0``.
+    """
+
+    cpu_seconds_per_unit: float
+    requests_per_unit: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds_per_unit < 0:
+            raise ModelError(
+                f"cpu_seconds_per_unit must be >= 0, got {self.cpu_seconds_per_unit}"
+            )
+        if self.requests_per_unit < 0:
+            raise ModelError(
+                f"requests_per_unit must be >= 0, got {self.requests_per_unit}"
+            )
+
+    def memory_weight(self, request_latency: float) -> float:
+        """Fraction of wall-clock time spent in the memory system when
+        each request costs ``request_latency`` seconds."""
+        memory_time = self.requests_per_unit * request_latency
+        total = self.cpu_seconds_per_unit + memory_time
+        if total == 0.0:
+            return 0.0
+        return memory_time / total
+
+
+def effective_concurrency(
+    demands: Sequence[MemoryDemand],
+    latency_fn: Callable[[float], float],
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Solve ``c = sum_i w_i(c)`` for the running task population.
+
+    Args:
+        demands: Demands of every currently running task.
+        latency_fn: Maps concurrency to per-request latency (normally a
+            bound :meth:`ContentionModel.request_latency`).  Must be
+            non-decreasing and positive.
+        tolerance: Absolute convergence tolerance on ``c``.
+        max_iterations: Iteration cap; exceeding it raises
+            :class:`~repro.errors.ModelError` (it indicates a
+            non-monotone latency function).
+
+    Returns:
+        The effective memory concurrency, ``0 <= c <= len(demands)``.
+    """
+    memory_tasks = [d for d in demands if d.requests_per_unit > 0]
+    if not memory_tasks:
+        return 0.0
+
+    c = float(len(memory_tasks))
+    for _ in range(max_iterations):
+        latency = latency_fn(c)
+        if latency <= 0:
+            raise ModelError(f"latency_fn returned non-positive latency {latency}")
+        updated = sum(d.memory_weight(latency) for d in memory_tasks)
+        if abs(updated - c) <= tolerance:
+            return updated
+        # Damped update: guards against oscillation if latency_fn is
+        # only piecewise monotone (e.g. the bandwidth-share model's kink).
+        c = 0.5 * (c + updated)
+    raise ModelError(
+        f"effective_concurrency failed to converge within {max_iterations} "
+        f"iterations (last c={c!r})"
+    )

@@ -1,0 +1,66 @@
+"""Memory-system façade used by the machine simulator.
+
+Bundles a contention model, a channel count, and an LLC capacity model
+behind the two queries the simulator needs:
+
+* :meth:`MemorySystem.resolve` — given the demands of all currently
+  running tasks, the effective concurrency and the per-request latency
+  every one of them currently sees;
+* :meth:`MemorySystem.miss_fraction` — the off-chip spill fraction of a
+  compute task with a given footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import LastLevelCache
+from repro.memory.contention import ContentionModel
+from repro.memory.equilibrium import MemoryDemand, effective_concurrency
+
+__all__ = ["MemorySystem"]
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Off-chip memory system of one simulated machine.
+
+    Attributes:
+        contention: Per-request latency model.
+        channels: Independent memory channels (1-DIMM = 1, 2-DIMM = 2
+            in the paper's setups).
+        cache: Optional LLC capacity model; when ``None``, every
+            compute task is assumed miss-free (the stream-programming
+            contract holds by construction).
+    """
+
+    contention: ContentionModel
+    channels: int = 1
+    cache: Optional[LastLevelCache] = None
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigurationError(f"channels must be >= 1, got {self.channels}")
+
+    def request_latency(self, concurrency: float) -> float:
+        """Per-request latency at a given effective concurrency."""
+        return self.contention.request_latency(concurrency, channels=self.channels)
+
+    def resolve(self, demands: Sequence[MemoryDemand]) -> Tuple[float, float]:
+        """Effective concurrency and request latency for running tasks.
+
+        Returns:
+            ``(concurrency, latency)``.  With no memory-demanding task
+            running the concurrency is 0 and the latency is the
+            unloaded ``L(1)`` (what a newly arriving request would pay).
+        """
+        concurrency = effective_concurrency(demands, self.request_latency)
+        return concurrency, self.request_latency(max(concurrency, 1.0))
+
+    def miss_fraction(self, footprint_bytes: int) -> float:
+        """Off-chip fraction of a compute task's accesses."""
+        if self.cache is None:
+            return 0.0
+        return self.cache.miss_fraction(footprint_bytes)

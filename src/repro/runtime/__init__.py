@@ -1,0 +1,50 @@
+"""Runtime services: monitoring, measurement protocol, experiments.
+
+* :mod:`repro.runtime.monitor` — pair-sample extraction and the
+  Table II/III ratio measurement;
+* :mod:`repro.runtime.measurement` — the 20-run / middle-10 protocol;
+* :mod:`repro.runtime.experiment` — policy-comparison harness;
+* :mod:`repro.runtime.characterize` — per-phase workload reports with
+  model predictions;
+* :mod:`repro.runtime.suite` — workloads x machines x policies grids.
+"""
+
+from repro.runtime.characterize import (
+    PhaseCharacter,
+    WorkloadCharacter,
+    characterize,
+)
+from repro.runtime.experiment import (
+    ComparisonResult,
+    PolicyOutcome,
+    compare_policies,
+    offline_best_static_factory,
+    paper_policy_suite,
+)
+from repro.runtime.measurement import (
+    RepeatedMeasurement,
+    measure_makespan,
+    middle_mean,
+)
+from repro.runtime.monitor import measure_phase_ratios, measure_ratio, pair_samples
+from repro.runtime.suite import SuiteResult, SuiteRow, run_suite
+
+__all__ = [
+    "ComparisonResult",
+    "PhaseCharacter",
+    "SuiteResult",
+    "SuiteRow",
+    "WorkloadCharacter",
+    "characterize",
+    "run_suite",
+    "PolicyOutcome",
+    "RepeatedMeasurement",
+    "compare_policies",
+    "measure_makespan",
+    "measure_phase_ratios",
+    "measure_ratio",
+    "middle_mean",
+    "offline_best_static_factory",
+    "pair_samples",
+    "paper_policy_suite",
+]

@@ -1,0 +1,166 @@
+"""Workload characterisation reports.
+
+Before deploying the throttler on a new workload, a user wants the
+paper's Table II/III view of it: per-phase memory-to-compute ratios,
+the IdleBound each phase implies, and what the analytical model
+predicts the throttler will do (best MTL and speedup).  This module
+produces that report from one MTL=1 profiling run plus the machine's
+contention model — no policy simulation required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.tables import format_percent, format_speedup, render_table
+from repro.core.model import AnalyticalModel, predict_speedup_curve
+from repro.sim.machine import Machine, i7_860
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import Simulator
+from repro.stream.program import StreamProgram
+
+__all__ = ["PhaseCharacter", "WorkloadCharacter", "characterize"]
+
+
+@dataclass(frozen=True)
+class PhaseCharacter:
+    """Characterisation of one program phase.
+
+    Attributes:
+        name: Phase name.
+        pair_count: Task pairs in the phase.
+        ratio: Measured ``T_m1 / T_c``.
+        idle_bound: Minimum MTL at which all cores stay busy.
+        predicted_mtl: Analytical best MTL for this phase.
+        predicted_speedup: Analytical speedup of that MTL over the
+            conventional schedule.
+    """
+
+    name: str
+    pair_count: int
+    ratio: float
+    idle_bound: int
+    predicted_mtl: int
+    predicted_speedup: float
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Characterisation of a whole program.
+
+    ``unthrottled_latency_ratio`` is the machine's ``L(n)/L(1)`` — it
+    converts phase ratios (stated at MTL=1) to unthrottled memory
+    times when composing per-phase predictions into a program-level
+    one.
+    """
+
+    program_name: str
+    machine_name: str
+    phases: Tuple[PhaseCharacter, ...]
+    unthrottled_latency_ratio: float = 1.0
+
+    @property
+    def is_phase_diverse(self) -> bool:
+        """Whether phases want different MTLs — the situation where
+        *dynamic* throttling beats any static assignment."""
+        return len({p.predicted_mtl for p in self.phases}) > 1
+
+    def overall_ratio(self) -> float:
+        """Pair-weighted mean ratio across phases."""
+        total_pairs = sum(p.pair_count for p in self.phases)
+        return (
+            sum(p.ratio * p.pair_count for p in self.phases) / total_pairs
+        )
+
+    def predicted_program_speedup(self) -> float:
+        """Whole-program speedup an ideal dynamic throttler achieves.
+
+        Phases are separated by barriers, so program time is the sum
+        of phase times and the ideal dynamic speedup is the
+        time-weighted harmonic composition of the per-phase speedups:
+        each phase contributes its conventional-schedule share of the
+        runtime, shrunk by its own best-MTL speedup.  Monitoring
+        overhead is excluded (this is the ceiling the mechanism
+        approaches from below).
+        """
+        conventional_total = 0.0
+        throttled_total = 0.0
+        for phase in self.phases:
+            # Relative conventional phase time: pairs * (T_mn + T_c)
+            # with T_c = 1 and T_mn = ratio * L(n)/L(1); only
+            # proportions matter across phases.
+            weight = phase.pair_count * (
+                1.0 + phase.ratio * self.unthrottled_latency_ratio
+            )
+            conventional_total += weight
+            throttled_total += weight / phase.predicted_speedup
+        return conventional_total / throttled_total
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.name,
+                str(p.pair_count),
+                format_percent(p.ratio),
+                str(p.idle_bound),
+                str(p.predicted_mtl),
+                format_speedup(p.predicted_speedup),
+            ]
+            for p in self.phases
+        ]
+        table = render_table(
+            ["Phase", "pairs", "T_m1/T_c", "IdleBound", "best MTL",
+             "pred. speedup"],
+            rows,
+        )
+        verdict = (
+            "phase-diverse: dynamic throttling should beat any static MTL"
+            if self.is_phase_diverse
+            else "uniform: a static MTL suffices"
+        )
+        return (
+            f"{self.program_name} on {self.machine_name} "
+            f"(overall ratio {format_percent(self.overall_ratio())})\n"
+            f"{table}\n{verdict}"
+        )
+
+
+def characterize(
+    program: StreamProgram, machine: Optional[Machine] = None
+) -> WorkloadCharacter:
+    """Profile a program at MTL=1 and report per-phase characteristics."""
+    target = machine if machine is not None else i7_860()
+    result = Simulator(target).run(program, FixedMtlPolicy(1))
+    model = AnalyticalModel(core_count=target.context_count)
+    contention = target.memory.contention
+
+    phases: List[PhaseCharacter] = []
+    for index, phase in enumerate(program.phases):
+        t_m = result.mean_memory_duration(phase_index=index)
+        t_c = result.mean_compute_duration(phase_index=index)
+        ratio = t_m / t_c
+        prediction = predict_speedup_curve(
+            [ratio],
+            contention,
+            core_count=target.context_count,
+            channels=target.memory.channels,
+        )[0]
+        phases.append(
+            PhaseCharacter(
+                name=phase.name,
+                pair_count=phase.pair_count,
+                ratio=ratio,
+                idle_bound=model.idle_bound(t_m, t_c),
+                predicted_mtl=prediction.best_mtl,
+                predicted_speedup=prediction.speedup,
+            )
+        )
+    solo = target.memory.request_latency(1.0)
+    loaded = target.memory.request_latency(float(target.context_count))
+    return WorkloadCharacter(
+        program_name=program.name,
+        machine_name=target.name,
+        phases=tuple(phases),
+        unthrottled_latency_ratio=loaded / solo,
+    )

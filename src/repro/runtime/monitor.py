@@ -1,0 +1,80 @@
+"""Task-pair monitoring utilities.
+
+The paper's runtime measures individual memory and compute tasks with
+``gettimeofday()`` and reasons about *pairs*.  This module provides
+the offline counterparts used by experiments and benchmarks: joining a
+simulation's task records into pair samples, and measuring a
+workload's characteristic ``T_m1 / T_c`` ratio the way Table II/III
+were produced (run at MTL = 1, average per-task times).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.phase import PairSample
+from repro.errors import MeasurementError
+from repro.sim.machine import Machine, i7_860
+from repro.sim.results import SimulationResult
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import Simulator
+from repro.stream.program import StreamProgram
+
+__all__ = ["pair_samples", "measure_ratio", "measure_phase_ratios"]
+
+
+def pair_samples(
+    result: SimulationResult, phase_index: Optional[int] = None
+) -> List[PairSample]:
+    """Join task records into per-pair ``(T_m, T_c)`` samples.
+
+    Pairs are matched by ``(phase_index, pair_index)``.  Records whose
+    counterpart is missing (cannot happen in a completed run) raise
+    :class:`~repro.errors.MeasurementError`.
+    """
+    memory: Dict[Tuple[int, int], float] = {}
+    compute: Dict[Tuple[int, int], float] = {}
+    for record in result.records:
+        if phase_index is not None and record.phase_index != phase_index:
+            continue
+        key = (record.phase_index, record.pair_index)
+        target = memory if record.is_memory else compute
+        if key in target:
+            raise MeasurementError(f"duplicate {record.kind.value} record for {key}")
+        target[key] = record.duration
+    if set(memory) != set(compute):
+        raise MeasurementError(
+            "unpaired task records: "
+            f"{sorted(set(memory) ^ set(compute))[:5]}"
+        )
+    return [
+        PairSample(t_m=memory[key], t_c=compute[key]) for key in sorted(memory)
+    ]
+
+
+def measure_ratio(
+    program: StreamProgram, machine: Optional[Machine] = None
+) -> float:
+    """The workload characteristic ``T_m1 / T_c`` (Tables II and III).
+
+    Measured exactly as the paper does: run the whole program at
+    MTL = 1 and divide the mean memory-task time by the mean
+    compute-task time.
+    """
+    target = machine if machine is not None else i7_860()
+    result = Simulator(target).run(program, FixedMtlPolicy(1))
+    return result.mean_memory_duration() / result.mean_compute_duration()
+
+
+def measure_phase_ratios(
+    program: StreamProgram, machine: Optional[Machine] = None
+) -> Dict[str, float]:
+    """Per-phase ``T_m1 / T_c`` (the Table III breakdown for SIFT)."""
+    target = machine if machine is not None else i7_860()
+    result = Simulator(target).run(program, FixedMtlPolicy(1))
+    ratios: Dict[str, float] = {}
+    for index, phase in enumerate(program.phases):
+        t_m = result.mean_memory_duration(phase_index=index)
+        t_c = result.mean_compute_duration(phase_index=index)
+        ratios[phase.name] = t_m / t_c
+    return ratios

@@ -1,0 +1,128 @@
+"""Batch experiment suites.
+
+Every figure in the paper is a grid: workloads x machines x policies.
+:func:`run_suite` executes such a grid in one call and returns tidy
+rows ready for tables, CSV, or regression tracking — the harness the
+individual benchmarks are special cases of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.sim.machine import Machine
+from repro.sim.scheduler import SchedulingPolicy, conventional_policy
+from repro.sim.simulator import Simulator
+from repro.stream.program import StreamProgram
+
+__all__ = ["SuiteRow", "SuiteResult", "run_suite"]
+
+PolicyFactory = Callable[[Machine], SchedulingPolicy]
+ProgramFactory = Callable[[], StreamProgram]
+
+
+@dataclass(frozen=True)
+class SuiteRow:
+    """One (workload, machine, policy) cell of a suite."""
+
+    workload: str
+    machine: str
+    policy: str
+    makespan: float
+    speedup: float
+    selected_mtl: Optional[int]
+    probe_fraction: float
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All rows of one suite run."""
+
+    rows: Tuple[SuiteRow, ...]
+
+    def filter(
+        self,
+        workload: Optional[str] = None,
+        machine: Optional[str] = None,
+        policy: Optional[str] = None,
+    ) -> List[SuiteRow]:
+        out = []
+        for row in self.rows:
+            if workload is not None and row.workload != workload:
+                continue
+            if machine is not None and row.machine != machine:
+                continue
+            if policy is not None and row.policy != policy:
+                continue
+            out.append(row)
+        return out
+
+    def cell(self, workload: str, machine: str, policy: str) -> SuiteRow:
+        matches = self.filter(workload=workload, machine=machine, policy=policy)
+        if len(matches) != 1:
+            raise MeasurementError(
+                f"expected one cell for ({workload}, {machine}, {policy}), "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    def to_csv(self) -> str:
+        lines = [
+            "workload,machine,policy,makespan,speedup,selected_mtl,"
+            "probe_fraction"
+        ]
+        for row in self.rows:
+            mtl = "" if row.selected_mtl is None else str(row.selected_mtl)
+            lines.append(
+                f"{row.workload},{row.machine},{row.policy},"
+                f"{row.makespan!r},{row.speedup!r},{mtl},"
+                f"{row.probe_fraction!r}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def run_suite(
+    workloads: Dict[str, ProgramFactory],
+    machines: Sequence[Machine],
+    policies: Dict[str, PolicyFactory],
+) -> SuiteResult:
+    """Run the full grid and return tidy rows.
+
+    Speedups are relative to the conventional schedule of the same
+    (workload, machine) cell, computed once per cell.  Program and
+    policy factories are called fresh per cell — stateful policies
+    must never be shared across runs.
+    """
+    if not workloads or not machines or not policies:
+        raise ConfigurationError("suite needs workloads, machines, and policies")
+    machine_names = [m.name for m in machines]
+    if len(set(machine_names)) != len(machine_names):
+        raise ConfigurationError(f"duplicate machine names: {machine_names}")
+
+    rows: List[SuiteRow] = []
+    for workload_name, make_program in workloads.items():
+        for machine in machines:
+            simulator = Simulator(machine)
+            baseline = simulator.run(
+                make_program(), conventional_policy(machine.context_count)
+            ).makespan
+            for policy_name, make_policy in policies.items():
+                result = simulator.run(make_program(), make_policy(machine))
+                try:
+                    selected: Optional[int] = result.dominant_mtl()
+                except MeasurementError:
+                    selected = None
+                rows.append(
+                    SuiteRow(
+                        workload=workload_name,
+                        machine=machine.name,
+                        policy=policy_name,
+                        makespan=result.makespan,
+                        speedup=baseline / result.makespan,
+                        selected_mtl=selected,
+                        probe_fraction=result.probe_task_time_fraction(),
+                    )
+                )
+    return SuiteResult(rows=tuple(rows))

@@ -1,0 +1,142 @@
+"""Processor-sharing rate calculation.
+
+Between two events nothing about the running-task population changes,
+so every task progresses at a constant rate.  This module computes
+those rates:
+
+1. Count, per core, the contexts running CPU-demanding work and derive
+   each context's execution rate (SMT sharing).
+2. Build each task's per-work-unit memory demand (its CPU component
+   slowed by the execution rate) and solve the contention equilibrium
+   for the effective memory concurrency.
+3. Each task's speed is the reciprocal of its per-unit cost
+   ``cpu_per_unit / cpu_rate + requests_per_unit * L(c)``.
+
+For a population of ``k`` pure memory tasks and any number of miss-free
+compute tasks this reduces exactly to the paper's model: each memory
+task retires one request per ``L(k)`` and each compute task runs at
+full speed, so ``T_mk = requests * L(k)`` and ``T_c`` is MTL-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import SimulationError
+from repro.memory.equilibrium import MemoryDemand
+from repro.memory.system import MemorySystem
+from repro.sim.cores import Processor
+from repro.stream.task import Task
+
+__all__ = ["RunningTask", "RateSnapshot", "RateCalculator"]
+
+
+@dataclass
+class RunningTask:
+    """Mutable execution state of one dispatched task."""
+
+    task: Task
+    context_id: int
+    core_id: int
+    start: float
+    remaining_units: float
+    overhead_remaining: float
+    mtl_at_dispatch: int
+    probe: bool = False
+
+    @property
+    def in_overhead_phase(self) -> bool:
+        """Dispatch overhead (dequeue, locking) is consumed as pure CPU
+        time before the task's real work begins."""
+        return self.overhead_remaining > 0.0
+
+
+@dataclass(frozen=True)
+class RateSnapshot:
+    """Rates for the current running population.
+
+    Attributes:
+        speeds: Work units per second for each context id.
+        cpu_rates: Execution rate of each context id (SMT sharing).
+        request_latency: Per-request memory latency every running task
+            currently sees.
+        memory_concurrency: Effective memory concurrency behind that
+            latency.
+    """
+
+    speeds: Dict[int, float]
+    cpu_rates: Dict[int, float]
+    request_latency: float
+    memory_concurrency: float
+
+
+class RateCalculator:
+    """Computes progress rates for a running-task population."""
+
+    def __init__(self, processor: Processor, memory: MemorySystem) -> None:
+        self._processor = processor
+        self._memory = memory
+
+    def snapshot(self, running: Sequence[RunningTask]) -> RateSnapshot:
+        """Rates, latency, and concurrency for the current population."""
+        cpu_rates = self._cpu_rates(running)
+
+        demands: List[MemoryDemand] = []
+        for rt in running:
+            if rt.in_overhead_phase:
+                # Overhead is pure CPU; no memory demand yet.
+                continue
+            demand = rt.task.demand()
+            rate = cpu_rates[rt.context_id]
+            demands.append(
+                MemoryDemand(
+                    cpu_seconds_per_unit=demand.cpu_seconds_per_unit / rate,
+                    requests_per_unit=demand.requests_per_unit,
+                )
+            )
+        concurrency, latency = self._memory.resolve(demands)
+
+        speeds: Dict[int, float] = {}
+        for rt in running:
+            if rt.in_overhead_phase:
+                speeds[rt.context_id] = 0.0  # work phase not started
+                continue
+            demand = rt.task.demand()
+            rate = cpu_rates[rt.context_id]
+            unit_cost = (
+                demand.cpu_seconds_per_unit / rate
+                + demand.requests_per_unit * latency
+            )
+            if unit_cost <= 0:
+                raise SimulationError(
+                    f"task {rt.task.task_id!r} has non-positive unit cost"
+                )
+            speeds[rt.context_id] = 1.0 / unit_cost
+        return RateSnapshot(
+            speeds=speeds,
+            cpu_rates=cpu_rates,
+            request_latency=latency,
+            memory_concurrency=concurrency,
+        )
+
+    def _cpu_rates(self, running: Sequence[RunningTask]) -> Dict[int, float]:
+        """Per-context execution rates under SMT sharing.
+
+        A context is CPU-active when its task currently demands CPU:
+        real CPU work, or the pure-CPU dispatch-overhead phase.  Memory
+        tasks past their overhead phase sit in prefetch stalls and do
+        not pressure the core.
+        """
+        cpu_active_per_core: Dict[int, int] = {}
+        for rt in running:
+            demands_cpu = rt.in_overhead_phase or rt.task.cpu_seconds > 0
+            if demands_cpu:
+                cpu_active_per_core[rt.core_id] = (
+                    cpu_active_per_core.get(rt.core_id, 0) + 1
+                )
+        rates: Dict[int, float] = {}
+        for rt in running:
+            active = cpu_active_per_core.get(rt.core_id, 0)
+            rates[rt.context_id] = self._processor.cpu_rate(active)
+        return rates

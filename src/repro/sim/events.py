@@ -1,0 +1,73 @@
+"""Execution records emitted by the simulator.
+
+The simulator's observable output is a stream of :class:`TaskRecord`
+objects (one per completed task, the analogue of the paper's
+``gettimeofday()`` bracketing of each task) and :class:`MtlChange`
+markers (one per policy decision).  Everything downstream — speedups,
+monitoring overhead, utilisation, gantt charts — derives from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.stream.task import TaskKind
+
+__all__ = ["TaskRecord", "MtlChange"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Completion record of one task.
+
+    Attributes:
+        task_id: Id of the completed task.
+        kind: Memory or compute.
+        context_id: Hardware context (thread slot) that ran it.
+        core_id: Physical core of that context.
+        start: Simulated start time (seconds).
+        end: Simulated completion time (seconds).
+        mtl_at_dispatch: MTL constraint in force when the task was
+            dispatched; the throttler groups ``T_m`` samples by this.
+        phase_index: Program phase the task belongs to.
+        pair_index: Pair index within the phase.
+        probe: True when the task ran inside a policy's monitoring
+            window; used to account monitoring overhead.
+    """
+
+    task_id: str
+    kind: TaskKind
+    context_id: int
+    core_id: int
+    start: float
+    end: float
+    mtl_at_dispatch: int
+    phase_index: int
+    pair_index: int
+    probe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"task {self.task_id!r} ends ({self.end}) before it starts "
+                f"({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind is TaskKind.MEMORY
+
+
+@dataclass(frozen=True)
+class MtlChange:
+    """A policy decision changing the MTL constraint."""
+
+    time: float
+    old_mtl: int
+    new_mtl: int
+    reason: str = ""

@@ -1,0 +1,77 @@
+"""Machine presets.
+
+A :class:`Machine` pairs a :class:`~repro.sim.cores.Processor` with a
+:class:`~repro.memory.system.MemorySystem`.  :func:`i7_860` builds the
+paper's testbed (Section V) in its three studied configurations:
+
+========================  =============================================
+``i7_860()``              4 threads, 1 DIMM / 1 channel (main results)
+``i7_860(channels=2)``    4 threads, 2 DIMMs (Fig. 18 left)
+``i7_860(channels=2, smt=2)``  8 SMT threads, 2 DIMMs (Fig. 18 right)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import LastLevelCache
+from repro.memory.contention import ContentionModel, nehalem_ddr3_contention
+from repro.memory.system import MemorySystem
+from repro.sim.cores import Processor
+from repro.units import mebibytes
+
+__all__ = ["Machine", "i7_860"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete simulated machine."""
+
+    name: str
+    processor: Processor
+    memory: MemorySystem
+
+    @property
+    def context_count(self) -> int:
+        return self.processor.context_count
+
+    @property
+    def core_count(self) -> int:
+        return self.processor.core_count
+
+    def solo_request_latency(self) -> float:
+        """Unloaded per-request latency ``L(1)`` — the basis of the
+        ``T_m1`` column in the paper's workload tables."""
+        return self.memory.request_latency(1.0)
+
+
+def i7_860(
+    channels: int = 1,
+    smt: int = 1,
+    contention: "ContentionModel | None" = None,
+    llc_capacity_bytes: int = mebibytes(8),
+) -> Machine:
+    """The paper's Intel i7-860 (Nehalem) testbed.
+
+    Args:
+        channels: Populated DDR3 channels (1 = the 2 GB single-DIMM
+            configuration, 2 = the dual-DIMM 17 GB/s configuration of
+            the scalability study).
+        smt: SMT ways (1 = disabled, 2 = the 8-thread configuration).
+        contention: Override the calibrated DDR3-1066 contention model
+            (used by the contention-model ablation).
+        llc_capacity_bytes: Last-level cache size (8 MB on the i7-860;
+            the paper footnotes a 12 MB Q9550 shows the same trends).
+    """
+    processor = Processor(core_count=4, smt_ways=smt)
+    cache = LastLevelCache(
+        capacity_bytes=llc_capacity_bytes, sharers=processor.core_count
+    )
+    memory = MemorySystem(
+        contention=contention if contention is not None else nehalem_ddr3_contention(),
+        channels=channels,
+        cache=cache,
+    )
+    label = f"i7-860/{channels}ch" + (f"/smt{smt}" if smt > 1 else "")
+    return Machine(name=label, processor=processor, memory=memory)

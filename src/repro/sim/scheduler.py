@@ -1,0 +1,228 @@
+"""Work queue, MTL gate, and the scheduling-policy protocol.
+
+This module is the simulated counterpart of the paper's application-
+level runtime (Section V): the main thread enqueues all memory and
+compute tasks with their dependencies into a work queue; child threads
+(hardware contexts here) dequeue tasks; "a lock and a counter are used
+to reinforce MTL restriction".  The lock-and-counter is the
+:class:`MtlGate`; the queue is :class:`WorkQueue`; policies — the
+paper's dynamic throttler and its baselines — plug in through
+:class:`SchedulingPolicy`.
+
+Dispatch preference follows Section III: a context that cannot acquire
+an MTL token "does not have to stall if it has compute work to do", so
+ready compute tasks are always dispatchable; compute tasks prefer the
+context that gathered their data (cache affinity, matching the paper's
+thread pinning).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.sim.events import TaskRecord
+from repro.stream.graph import TaskGraph
+from repro.stream.task import Task
+
+__all__ = [
+    "SchedulingPolicy",
+    "FixedMtlPolicy",
+    "conventional_policy",
+    "MtlGate",
+    "WorkQueue",
+]
+
+
+@runtime_checkable
+class SchedulingPolicy(Protocol):
+    """Protocol every scheduling policy implements.
+
+    The simulator queries :meth:`current_mtl` at every dispatch and
+    feeds every completion to :meth:`on_task_complete`; a policy
+    changes the throttle simply by returning a different value from
+    :meth:`current_mtl` afterwards.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short policy name used in reports."""
+
+    def current_mtl(self) -> int:
+        """The MTL constraint in force right now."""
+
+    def on_task_complete(self, record: TaskRecord, now: float) -> None:
+        """Observe a completed task (the policy's monitoring hook)."""
+
+    def is_probing(self) -> bool:
+        """Whether dispatched tasks currently belong to a monitoring
+        window (recorded on :class:`TaskRecord.probe` for overhead
+        accounting)."""
+
+
+class FixedMtlPolicy:
+    """A static MTL constraint — the paper's *S-MTL* runs."""
+
+    def __init__(self, mtl: int, name: Optional[str] = None) -> None:
+        if mtl < 1:
+            raise ConfigurationError(f"mtl must be >= 1, got {mtl}")
+        self._mtl = mtl
+        self._name = name if name is not None else f"static-mtl-{mtl}"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def current_mtl(self) -> int:
+        return self._mtl
+
+    def on_task_complete(self, record: TaskRecord, now: float) -> None:
+        return None
+
+    def is_probing(self) -> bool:
+        return False
+
+
+def conventional_policy(context_count: int) -> FixedMtlPolicy:
+    """The interference-oblivious baseline: MTL equal to the thread
+    count, i.e. no throttling at all.  All speedups in the paper are
+    relative to this schedule."""
+    return FixedMtlPolicy(mtl=context_count, name="conventional")
+
+
+class MtlGate:
+    """The lock-and-counter enforcing the MTL restriction.
+
+    Tokens are acquired when a memory task is dispatched and released
+    when it completes.  Lowering the limit below the in-use count does
+    not preempt running memory tasks (neither does the paper's
+    runtime); it only blocks new acquisitions until tasks drain.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"MTL limit must be >= 1, got {limit}")
+        self._limit = limit
+        self._in_use = 0
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def set_limit(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"MTL limit must be >= 1, got {limit}")
+        self._limit = limit
+
+    def try_acquire(self) -> bool:
+        if self._in_use < self._limit:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SchedulingError("MTL gate released more tokens than acquired")
+        self._in_use -= 1
+
+
+class WorkQueue:
+    """FIFO work queue over a task graph, split by task kind.
+
+    Tracks dependency counts and surfaces ready tasks in enqueue order,
+    with a cache-affinity fast path for compute tasks: a context
+    preferentially picks the compute task whose memory task it ran
+    itself, since that data sits in its cache slice.
+    """
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self._graph = graph
+        self._remaining_deps: Dict[str, int] = {}
+        self._ready_memory: Deque[Task] = deque()
+        self._ready_compute: Deque[Task] = deque()
+        self._completed: set = set()
+        self._dispatched: set = set()
+        #: pair key -> context that ran the pair's memory task
+        self._affinity: Dict[Tuple[int, int], int] = {}
+
+        for task in graph.topological_order():
+            self._remaining_deps[task.task_id] = len(task.depends_on)
+            if not task.depends_on:
+                self._enqueue(task)
+
+    def _enqueue(self, task: Task) -> None:
+        if task.is_memory:
+            self._ready_memory.append(task)
+        else:
+            self._ready_compute.append(task)
+
+    @property
+    def pending_memory(self) -> int:
+        return len(self._ready_memory)
+
+    @property
+    def pending_compute(self) -> int:
+        return len(self._ready_compute)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._completed)
+
+    def exhausted(self) -> bool:
+        """All tasks completed."""
+        return len(self._completed) == len(self._graph)
+
+    def has_ready_work(self) -> bool:
+        return bool(self._ready_memory or self._ready_compute)
+
+    def pop_compute(self, context_id: int) -> Optional[Task]:
+        """Dequeue a ready compute task, preferring cache affinity."""
+        if not self._ready_compute:
+            return None
+        for index, task in enumerate(self._ready_compute):
+            key = (task.phase_index, task.pair_index)
+            if self._affinity.get(key) == context_id:
+                del self._ready_compute[index]
+                self._dispatched.add(task.task_id)
+                return task
+        task = self._ready_compute.popleft()
+        self._dispatched.add(task.task_id)
+        return task
+
+    def pop_memory(self) -> Optional[Task]:
+        """Dequeue the oldest ready memory task."""
+        if not self._ready_memory:
+            return None
+        task = self._ready_memory.popleft()
+        self._dispatched.add(task.task_id)
+        return task
+
+    def note_memory_ran_on(self, task: Task, context_id: int) -> None:
+        """Record affinity for the pair's upcoming compute task."""
+        self._affinity[(task.phase_index, task.pair_index)] = context_id
+
+    def mark_complete(self, task: Task) -> List[Task]:
+        """Mark a task complete; returns tasks that just became ready."""
+        if task.task_id in self._completed:
+            raise SchedulingError(f"task {task.task_id!r} completed twice")
+        if task.task_id not in self._dispatched:
+            raise SchedulingError(
+                f"task {task.task_id!r} completed without being dispatched"
+            )
+        self._completed.add(task.task_id)
+        newly_ready: List[Task] = []
+        for dependent in self._graph.dependents(task.task_id):
+            self._remaining_deps[dependent.task_id] -= 1
+            if self._remaining_deps[dependent.task_id] == 0:
+                self._enqueue(dependent)
+                newly_ready.append(dependent)
+            elif self._remaining_deps[dependent.task_id] < 0:
+                raise SchedulingError(
+                    f"dependency count of {dependent.task_id!r} went negative"
+                )
+        return newly_ready

@@ -1,0 +1,282 @@
+"""The simulation event loop.
+
+:class:`Simulator` executes a :class:`~repro.stream.program.StreamProgram`
+on a :class:`~repro.sim.machine.Machine` under a
+:class:`~repro.sim.scheduler.SchedulingPolicy`, producing a
+:class:`~repro.sim.results.SimulationResult`.
+
+The loop alternates two actions until the work queue drains:
+
+1. **Dispatch** — every idle hardware context first tries a ready
+   compute task (cache-affinity preferred), then a ready memory task
+   if the MTL gate grants a token, else idles (Section III semantics).
+2. **Advance** — rates are recomputed for the running population
+   (processor sharing + memory-contention equilibrium) and time jumps
+   to the next task-phase boundary or completion.  Completions release
+   MTL tokens, unlock dependents, and are reported to the policy,
+   which may retune the MTL for subsequent dispatches.
+
+Determinism: given the same program, machine, policy, and noise seed,
+two runs produce identical results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import RateCalculator, RunningTask
+from repro.sim.events import MtlChange, TaskRecord
+from repro.sim.machine import Machine, i7_860
+from repro.sim.noise import NoiseModel, ZeroNoise
+from repro.sim.results import SimulationResult
+from repro.sim.scheduler import MtlGate, SchedulingPolicy, WorkQueue
+from repro.stream.program import StreamProgram
+from repro.stream.task import Task
+
+__all__ = ["Simulator", "simulate"]
+
+#: Relative work threshold below which a task counts as finished.
+_COMPLETION_EPSILON = 1e-9
+
+
+class Simulator:
+    """Reusable simulator bound to one machine and noise model.
+
+    Args:
+        machine: Machine to simulate.
+        noise: Task-duration noise model (default: none).
+        dispatch_preference: What an idle context tries first —
+            ``"compute-first"`` (the default; a freed context consumes
+            the compute task whose data it just gathered, the
+            cache-friendly order the paper's runtime exhibits) or
+            ``"memory-first"`` (keep the memory pipeline maximally
+            full; exists for the scheduling-order ablation).
+    """
+
+    _DISPATCH_PREFERENCES = ("compute-first", "memory-first")
+
+    def __init__(
+        self,
+        machine: Machine,
+        noise: Optional[NoiseModel] = None,
+        dispatch_preference: str = "compute-first",
+    ) -> None:
+        if dispatch_preference not in self._DISPATCH_PREFERENCES:
+            raise ConfigurationError(
+                f"dispatch_preference must be one of "
+                f"{self._DISPATCH_PREFERENCES}, got {dispatch_preference!r}"
+            )
+        self.machine = machine
+        self.noise: NoiseModel = noise if noise is not None else ZeroNoise()
+        self.dispatch_preference = dispatch_preference
+        self._rates = RateCalculator(machine.processor, machine.memory)
+
+    def run(self, program: StreamProgram, policy: SchedulingPolicy) -> SimulationResult:
+        """Execute ``program`` to completion under ``policy``."""
+        return self.run_graph(program.to_task_graph(), policy, program.name)
+
+    def run_graph(
+        self,
+        graph,
+        policy: SchedulingPolicy,
+        name: str,
+    ) -> SimulationResult:
+        """Execute a pre-built task graph (multiprogram mixes use this
+        to bypass the single-program phase-barrier construction)."""
+        queue = WorkQueue(graph)
+        gate = MtlGate(self._validated_mtl(policy))
+        contexts = self.machine.processor.contexts()
+        running: Dict[int, RunningTask] = {}
+        records: List[TaskRecord] = []
+        mtl_changes: List[MtlChange] = [
+            MtlChange(time=0.0, old_mtl=gate.limit, new_mtl=gate.limit, reason="initial")
+        ]
+        now = 0.0
+
+        max_iterations = 10 * len(graph) + 1000
+        iterations = 0
+        while not queue.exhausted():
+            iterations += 1
+            if iterations > max_iterations:
+                raise SimulationError(
+                    f"simulation of {name!r} exceeded {max_iterations} "
+                    "iterations; the scheduler is not making progress"
+                )
+
+            self._sync_mtl(policy, gate, mtl_changes, now)
+            self._dispatch(queue, gate, policy, contexts, running, now)
+
+            if not running:
+                if queue.has_ready_work():
+                    raise SimulationError(
+                        "no task running yet ready work exists; the MTL gate "
+                        "is wedged (this is a scheduler bug)"
+                    )
+                raise SimulationError(
+                    f"deadlock: {len(graph) - queue.completed_count} tasks "
+                    "can never become ready"
+                )
+
+            now = self._advance(queue, gate, policy, running, records, now)
+
+        return SimulationResult(
+            program_name=name,
+            machine_name=self.machine.name,
+            policy_name=policy.name,
+            context_count=self.machine.context_count,
+            records=tuple(records),
+            mtl_changes=tuple(mtl_changes),
+        )
+
+    def _validated_mtl(self, policy: SchedulingPolicy) -> int:
+        mtl = policy.current_mtl()
+        if not 1 <= mtl <= self.machine.context_count:
+            raise ConfigurationError(
+                f"policy {policy.name!r} requested MTL {mtl}, outside "
+                f"[1, {self.machine.context_count}]"
+            )
+        return mtl
+
+    def _sync_mtl(
+        self,
+        policy: SchedulingPolicy,
+        gate: MtlGate,
+        mtl_changes: List[MtlChange],
+        now: float,
+    ) -> None:
+        mtl = self._validated_mtl(policy)
+        if mtl != gate.limit:
+            mtl_changes.append(
+                MtlChange(time=now, old_mtl=gate.limit, new_mtl=mtl, reason=policy.name)
+            )
+            gate.set_limit(mtl)
+
+    def _dispatch(
+        self,
+        queue: WorkQueue,
+        gate: MtlGate,
+        policy: SchedulingPolicy,
+        contexts,
+        running: Dict[int, RunningTask],
+        now: float,
+    ) -> None:
+        for context in contexts:
+            if context.context_id in running:
+                continue
+            task = self._pick_task(queue, gate, context.context_id)
+            if task is None:
+                continue
+            running[context.context_id] = RunningTask(
+                task=task,
+                context_id=context.context_id,
+                core_id=context.core_id,
+                start=now,
+                remaining_units=task.work_units * self.noise.duration_factor(),
+                overhead_remaining=self.noise.dispatch_overhead(),
+                mtl_at_dispatch=gate.limit,
+                probe=policy.is_probing(),
+            )
+
+    def _pick_task(self, queue: WorkQueue, gate: MtlGate, context_id: int):
+        """Choose a task for an idle context per the dispatch order."""
+
+        def try_memory() -> Optional[Task]:
+            if queue.pending_memory > 0 and gate.try_acquire():
+                task = queue.pop_memory()
+                if task is None:  # pragma: no cover - guarded by pending_memory
+                    gate.release()
+                    return None
+                queue.note_memory_ran_on(task, context_id)
+                return task
+            return None
+
+        if self.dispatch_preference == "memory-first":
+            task = try_memory()
+            if task is not None:
+                return task
+            return queue.pop_compute(context_id)
+        task = queue.pop_compute(context_id)
+        if task is not None:
+            return task
+        return try_memory()
+
+    def _advance(
+        self,
+        queue: WorkQueue,
+        gate: MtlGate,
+        policy: SchedulingPolicy,
+        running: Dict[int, RunningTask],
+        records: List[TaskRecord],
+        now: float,
+    ) -> float:
+        snapshot = self._rates.snapshot(list(running.values()))
+
+        dt = math.inf
+        for rt in running.values():
+            if rt.in_overhead_phase:
+                rate = snapshot.cpu_rates[rt.context_id]
+                dt = min(dt, rt.overhead_remaining / rate)
+            else:
+                speed = snapshot.speeds[rt.context_id]
+                if speed <= 0:
+                    raise SimulationError(
+                        f"task {rt.task.task_id!r} has non-positive speed"
+                    )
+                dt = min(dt, rt.remaining_units / speed)
+        if not math.isfinite(dt) or dt < 0:
+            raise SimulationError(f"invalid time step {dt!r}")
+
+        now += dt
+        finished: List[RunningTask] = []
+        for rt in running.values():
+            if rt.in_overhead_phase:
+                rate = snapshot.cpu_rates[rt.context_id]
+                rt.overhead_remaining -= dt * rate
+                if rt.overhead_remaining <= _COMPLETION_EPSILON * max(
+                    rt.overhead_remaining, 1.0
+                ):
+                    rt.overhead_remaining = 0.0
+            else:
+                speed = snapshot.speeds[rt.context_id]
+                rt.remaining_units -= dt * speed
+                if rt.remaining_units <= _COMPLETION_EPSILON * rt.task.work_units:
+                    finished.append(rt)
+
+        for rt in finished:
+            del running[rt.context_id]
+            if rt.task.is_memory:
+                gate.release()
+            record = TaskRecord(
+                task_id=rt.task.task_id,
+                kind=rt.task.kind,
+                context_id=rt.context_id,
+                core_id=rt.core_id,
+                start=rt.start,
+                end=now,
+                mtl_at_dispatch=rt.mtl_at_dispatch,
+                phase_index=rt.task.phase_index,
+                pair_index=rt.task.pair_index,
+                probe=rt.probe,
+            )
+            records.append(record)
+            queue.mark_complete(rt.task)
+            policy.on_task_complete(record, now)
+        return now
+
+
+def simulate(
+    program: StreamProgram,
+    policy: SchedulingPolicy,
+    machine: Optional[Machine] = None,
+    noise: Optional[NoiseModel] = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`.
+
+    Defaults to the paper's 1-DIMM i7-860 and zero noise.
+    """
+    return Simulator(
+        machine=machine if machine is not None else i7_860(),
+        noise=noise,
+    ).run(program, policy)

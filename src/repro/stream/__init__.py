@@ -1,0 +1,40 @@
+"""Stream programming substrate.
+
+The paper's mechanism operates on applications written in the
+*gather-compute-scatter* style (Section II): *memory tasks* move data
+between DRAM and the last-level cache, *compute tasks* operate on the
+cached data, and the two are paired one-to-one with the compute task
+depending on its memory task.
+
+This package provides:
+
+* :mod:`repro.stream.task` — the task model (memory/compute tasks,
+  pairs, resource demands);
+* :mod:`repro.stream.graph` — dependency graphs with cycle and
+  dangling-edge validation, topological ordering, and ready-set
+  queries;
+* :mod:`repro.stream.program` — phased stream programs (a phase is a
+  set of independent task pairs; phases are separated by barriers, the
+  structure of SIFT's sequence of parallel functions);
+* :mod:`repro.stream.builder` — decomposition of flat array loops into
+  equally-sized task pairs (Figure 3 of the paper);
+* :mod:`repro.stream.kernels` — *executable* numpy gather/compute/
+  scatter kernels demonstrating the programming model on real data.
+"""
+
+from repro.stream.builder import decompose_loop
+from repro.stream.graph import TaskGraph
+from repro.stream.program import ProgramPhase, StreamProgram
+from repro.stream.task import Task, TaskKind, TaskPair, compute_task, memory_task
+
+__all__ = [
+    "ProgramPhase",
+    "StreamProgram",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "TaskPair",
+    "compute_task",
+    "decompose_loop",
+    "memory_task",
+]

@@ -1,0 +1,93 @@
+"""Loop decomposition into equally-sized stream task pairs.
+
+Figure 3 of the paper shows the transformation this module automates:
+a data-parallel loop over a large array, expressed as one memory task
+``M1`` and one compute task ``C1``, is forked into ``n`` equally-sized
+memory tasks and their dependent compute tasks.  The footprint of each
+memory task is chosen to respect the last-level-cache contract; when
+the requested tile violates it, the builder either shrinks the tile or
+(matching the paper's deliberate Figure 13(c) experiment) attaches the
+spilled traffic to the compute tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.memory.cache import LastLevelCache
+from repro.stream.program import ProgramPhase, build_phase
+from repro.units import cache_lines
+
+__all__ = ["decompose_loop"]
+
+
+def decompose_loop(
+    name: str,
+    total_bytes: int,
+    tile_bytes: int,
+    compute_seconds_per_byte: float,
+    phase_index: int = 0,
+    cache: Optional[LastLevelCache] = None,
+    allow_spill: bool = False,
+) -> ProgramPhase:
+    """Split a flat array loop into equally-sized task pairs.
+
+    Args:
+        name: Phase name for reporting.
+        total_bytes: Total array footprint the loop traverses.
+        tile_bytes: Footprint of each memory task (the gather tile).
+        compute_seconds_per_byte: CPU time the compute half spends per
+            byte of gathered data; scales the ``T_m/T_c`` ratio.
+        phase_index: Position of this phase in the enclosing program.
+        cache: Optional LLC model used to check the footprint contract.
+        allow_spill: When the tile overflows the cache share, attach
+            the spilled requests to the compute tasks (``True``) or
+            refuse the decomposition (``False``).
+
+    Returns:
+        A :class:`~repro.stream.program.ProgramPhase` of
+        ``ceil(total_bytes / tile_bytes)`` equally-sized pairs.
+
+    Raises:
+        WorkloadError: If the tile violates the cache contract and
+            ``allow_spill`` is false, or the loop is empty.
+    """
+    if total_bytes <= 0:
+        raise WorkloadError(f"loop over {total_bytes} bytes has no work")
+    if tile_bytes <= 0:
+        raise ConfigurationError(f"tile_bytes must be positive, got {tile_bytes}")
+    if compute_seconds_per_byte < 0:
+        raise ConfigurationError(
+            "compute_seconds_per_byte must be non-negative, got "
+            f"{compute_seconds_per_byte}"
+        )
+
+    tile = min(tile_bytes, total_bytes)
+    pair_count = (total_bytes + tile - 1) // tile
+
+    spill_requests = 0.0
+    if cache is not None and not cache.fits(tile):
+        if not allow_spill:
+            raise WorkloadError(
+                f"tile of {tile} bytes exceeds the per-core cache share of "
+                f"{cache.per_core_share_bytes} bytes; shrink the tile or pass "
+                "allow_spill=True"
+            )
+        spill_requests = cache.miss_fraction(tile) * cache_lines(tile)
+
+    compute_seconds = compute_seconds_per_byte * tile
+    if compute_seconds <= 0:
+        raise WorkloadError(
+            f"loop {name!r} has zero compute time per tile; a stream pair "
+            "needs a non-empty compute half"
+        )
+    return build_phase(
+        name=name,
+        phase_index=phase_index,
+        pair_count=pair_count,
+        requests_per_memory_task=float(cache_lines(tile)),
+        compute_seconds_per_task=compute_seconds,
+        footprint_bytes=tile,
+        compute_spill_requests=spill_requests,
+    )

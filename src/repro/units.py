@@ -1,0 +1,93 @@
+"""Unit helpers used throughout the library.
+
+The simulator's base time unit is the **second** (floats), and the base
+size unit is the **byte** (ints).  These helpers exist so that module
+code and tests can write ``46.3 * NANOSECONDS`` or ``mebibytes(2)``
+instead of raw exponents, and so that reports can render quantities in
+the unit a reader expects.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECONDS",
+    "MILLISECONDS",
+    "MICROSECONDS",
+    "NANOSECONDS",
+    "KIB",
+    "MIB",
+    "GIB",
+    "CACHE_LINE_BYTES",
+    "kibibytes",
+    "mebibytes",
+    "gibibytes",
+    "cache_lines",
+    "format_time",
+    "format_bytes",
+]
+
+SECONDS = 1.0
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+NANOSECONDS = 1e-9
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Cache-line granularity of the modelled memory system (DDR3 burst to a
+#: 64-byte line, the Nehalem line size used throughout the paper).
+CACHE_LINE_BYTES = 64
+
+
+def kibibytes(n: float) -> int:
+    """Return ``n`` KiB expressed in bytes."""
+    return int(n * KIB)
+
+
+def mebibytes(n: float) -> int:
+    """Return ``n`` MiB expressed in bytes."""
+    return int(n * MIB)
+
+
+def gibibytes(n: float) -> int:
+    """Return ``n`` GiB expressed in bytes."""
+    return int(n * GIB)
+
+
+def cache_lines(footprint_bytes: int) -> int:
+    """Number of cache lines needed to cover ``footprint_bytes``.
+
+    A memory task that gathers a footprint of ``footprint_bytes``
+    issues one off-chip request per cache line.
+    """
+    if footprint_bytes < 0:
+        raise ValueError(f"footprint must be non-negative, got {footprint_bytes}")
+    return (footprint_bytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an auto-selected SI unit (ns/us/ms/s)."""
+    magnitude = abs(seconds)
+    if magnitude == 0.0:
+        return "0 s"
+    if magnitude < 1e-6:
+        return f"{seconds / NANOSECONDS:.1f} ns"
+    if magnitude < 1e-3:
+        return f"{seconds / MICROSECONDS:.1f} us"
+    if magnitude < 1.0:
+        return f"{seconds / MILLISECONDS:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count with an auto-selected binary unit."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    if n < KIB:
+        return f"{n} B"
+    if n < MIB:
+        return f"{n / KIB:.1f} KiB"
+    if n < GIB:
+        return f"{n / MIB:.1f} MiB"
+    return f"{n / GIB:.2f} GiB"

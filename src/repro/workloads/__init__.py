@@ -1,0 +1,84 @@
+"""Workloads.
+
+Trace-driven stream programs calibrated to the paper's published
+workload characteristics:
+
+* :mod:`repro.workloads.synthetic` — the Figure 12 micro-benchmark
+  with ratio and footprint knobs (the Figure 13 sweep);
+* :mod:`repro.workloads.dft` — the OpenCV dft kernel (Table II);
+* :mod:`repro.workloads.streamcluster` — the six PARSEC streamcluster
+  instances (Table II, Figure 17);
+* :mod:`repro.workloads.sift` — the 14-function SIFT pipeline
+  (Table III, Figure 16);
+* :mod:`repro.workloads.registry` — lookup by paper name.
+"""
+
+from repro.workloads.base import (
+    DEFAULT_FOOTPRINT_BYTES,
+    REFERENCE_SOLO_LATENCY,
+    Workload,
+    compute_time_for_ratio,
+)
+from repro.workloads.dft import DFT_PAIRS, DFT_RATIO, DftWorkload, dft
+from repro.workloads.registry import (
+    build_workload,
+    realistic_workloads,
+    workload_names,
+)
+from repro.workloads.media import (
+    JPEG_STAGE_RATIOS,
+    MPEG_STAGE_RATIOS,
+    jpeg_decode,
+    mpeg2_decode,
+)
+from repro.workloads.spec import load_workload_spec, parse_workload_spec
+from repro.workloads.sift import (
+    SIFT_FUNCTION_RATIOS,
+    SiftWorkload,
+    sift,
+    sift_function,
+)
+from repro.workloads.streamcluster import (
+    NATIVE_DIMENSION,
+    STREAMCLUSTER_RATIOS,
+    StreamclusterWorkload,
+    streamcluster,
+)
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    ratio_sweep,
+    synthetic_from_count,
+    synthetic_from_ratio,
+)
+
+__all__ = [
+    "DEFAULT_FOOTPRINT_BYTES",
+    "DFT_PAIRS",
+    "DFT_RATIO",
+    "DftWorkload",
+    "NATIVE_DIMENSION",
+    "REFERENCE_SOLO_LATENCY",
+    "SIFT_FUNCTION_RATIOS",
+    "STREAMCLUSTER_RATIOS",
+    "SiftWorkload",
+    "StreamclusterWorkload",
+    "SyntheticWorkload",
+    "Workload",
+    "build_workload",
+    "compute_time_for_ratio",
+    "JPEG_STAGE_RATIOS",
+    "MPEG_STAGE_RATIOS",
+    "dft",
+    "jpeg_decode",
+    "load_workload_spec",
+    "mpeg2_decode",
+    "parse_workload_spec",
+    "ratio_sweep",
+    "realistic_workloads",
+    "sift",
+    "sift_function",
+    "streamcluster",
+    "synthetic_from_count",
+    "synthetic_from_ratio",
+    "workload_names",
+]

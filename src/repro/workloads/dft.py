@@ -1,0 +1,60 @@
+"""The OpenCV ``dft`` kernel workload (Table II of the paper).
+
+The paper rewrites OpenCV's discrete-Fourier-transform kernel into
+stream style following Gummaraju et al. and reports:
+
+* ``T_m1 / T_c = 12.77%`` — strongly compute-bound, so all cores stay
+  busy at any MTL and the throttler should settle on D-MTL = 1
+  (Section VI-B);
+* exactly **96** parallel memory/compute task pairs — few enough that
+  monitoring overhead dominates once ``W > 8`` (Section VI-C).
+
+The trace model: one parallel section of 96 equally-sized pairs, each
+gathering a 0.5 MB tile of transform rows, with compute time
+calibrated to the published ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stream.program import StreamProgram, build_phase
+from repro.units import cache_lines
+from repro.workloads.base import DEFAULT_FOOTPRINT_BYTES, compute_time_for_ratio
+
+__all__ = ["DFT_RATIO", "DFT_PAIRS", "DftWorkload", "dft"]
+
+#: Published ``T_m1 / T_c`` of the dft kernel (Table II).
+DFT_RATIO = 0.1277
+
+#: Published number of parallel memory-compute task pairs (Section VI-C).
+DFT_PAIRS = 96
+
+
+@dataclass(frozen=True)
+class DftWorkload:
+    """The dft kernel as a trace-driven stream program."""
+
+    footprint_bytes: int = DEFAULT_FOOTPRINT_BYTES
+
+    @property
+    def name(self) -> str:
+        return "dft"
+
+    def build(self) -> StreamProgram:
+        requests = cache_lines(self.footprint_bytes)
+        t_c = compute_time_for_ratio(DFT_RATIO, self.footprint_bytes)
+        phase = build_phase(
+            name="dft-kernel",
+            phase_index=0,
+            pair_count=DFT_PAIRS,
+            requests_per_memory_task=float(requests),
+            compute_seconds_per_task=t_c,
+            footprint_bytes=self.footprint_bytes,
+        )
+        return StreamProgram(self.name, [phase])
+
+
+def dft() -> StreamProgram:
+    """Build the dft workload with default parameters."""
+    return DftWorkload().build()

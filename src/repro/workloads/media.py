@@ -1,0 +1,126 @@
+"""Media-decoder workloads (motivated by the paper's Section II).
+
+The paper motivates stream programming with media applications:
+"some media applications, such as jpeg/mpeg decoder, and image
+processing kernels are rewritten in the StreamIt language".  It does
+not evaluate them, so no published ratios exist; these trace models
+are *synthetic but structurally faithful* — each decoder stage is a
+parallel phase whose memory-to-compute ratio reflects its arithmetic
+intensity (entropy decoding is branchy compute, colour conversion is
+a streaming triple-store), and an MPEG decoder cycles its stage
+sequence once per frame, giving the throttler a periodic phase
+pattern unlike anything in the paper's evaluation set.
+
+Stage ratios are module constants so experiments can cite them the
+way Tables II/III are cited for the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.stream.program import ProgramPhase, StreamProgram, build_phase
+from repro.units import cache_lines
+from repro.workloads.base import DEFAULT_FOOTPRINT_BYTES, compute_time_for_ratio
+
+__all__ = [
+    "JPEG_STAGE_RATIOS",
+    "MPEG_STAGE_RATIOS",
+    "jpeg_decode",
+    "mpeg2_decode",
+]
+
+#: Modelled ``T_m1/T_c`` per JPEG decode stage (arithmetic-intensity
+#: ordering: entropy decode is compute-bound; colour conversion is a
+#: bandwidth-bound streaming kernel).
+JPEG_STAGE_RATIOS: Dict[str, float] = {
+    "ENTROPY-DECODE": 0.06,
+    "DEQUANT-IDCT": 0.18,
+    "UPSAMPLE": 0.35,
+    "COLOR-CONVERT": 0.55,
+}
+
+#: Modelled ``T_m1/T_c`` per MPEG-2 decode stage.
+MPEG_STAGE_RATIOS: Dict[str, float] = {
+    "VLD": 0.07,
+    "IDCT": 0.20,
+    "MOTION-COMP": 0.60,
+    "DEBLOCK": 0.30,
+}
+
+
+def _stage_phase(
+    stage: str,
+    ratio: float,
+    phase_index: int,
+    pairs: int,
+    footprint_bytes: int,
+) -> ProgramPhase:
+    requests = cache_lines(footprint_bytes)
+    t_c = compute_time_for_ratio(ratio, footprint_bytes)
+    return build_phase(
+        name=stage,
+        phase_index=phase_index,
+        pair_count=pairs,
+        requests_per_memory_task=float(requests),
+        compute_seconds_per_task=t_c,
+        footprint_bytes=footprint_bytes,
+    )
+
+
+def jpeg_decode(
+    images: int = 4,
+    pairs_per_stage: int = 48,
+    footprint_bytes: int = DEFAULT_FOOTPRINT_BYTES,
+) -> StreamProgram:
+    """A JPEG decoder: the four stages, repeated once per image.
+
+    Each image's stages run back to back (producer-consumer), so the
+    throttler sees the full ratio range from 6% to 55% ``images``
+    times over.
+    """
+    if images < 1:
+        raise WorkloadError(f"images must be >= 1, got {images}")
+    if pairs_per_stage < 1:
+        raise WorkloadError(
+            f"pairs_per_stage must be >= 1, got {pairs_per_stage}"
+        )
+    phases: List[ProgramPhase] = []
+    index = 0
+    for image in range(images):
+        for stage, ratio in JPEG_STAGE_RATIOS.items():
+            phases.append(
+                _stage_phase(
+                    f"{stage}[{image}]", ratio, index, pairs_per_stage,
+                    footprint_bytes,
+                )
+            )
+            index += 1
+    return StreamProgram("jpeg-decode", phases)
+
+
+def mpeg2_decode(
+    frames: int = 6,
+    pairs_per_stage: int = 32,
+    footprint_bytes: int = DEFAULT_FOOTPRINT_BYTES,
+) -> StreamProgram:
+    """An MPEG-2 decoder: the stage cycle repeated once per frame."""
+    if frames < 1:
+        raise WorkloadError(f"frames must be >= 1, got {frames}")
+    if pairs_per_stage < 1:
+        raise WorkloadError(
+            f"pairs_per_stage must be >= 1, got {pairs_per_stage}"
+        )
+    phases: List[ProgramPhase] = []
+    index = 0
+    for frame in range(frames):
+        for stage, ratio in MPEG_STAGE_RATIOS.items():
+            phases.append(
+                _stage_phase(
+                    f"{stage}[{frame}]", ratio, index, pairs_per_stage,
+                    footprint_bytes,
+                )
+            )
+            index += 1
+    return StreamProgram("mpeg2-decode", phases)

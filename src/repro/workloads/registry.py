@@ -1,0 +1,51 @@
+"""Name-based workload registry.
+
+Lets examples and benchmark harnesses look workloads up by the names
+the paper uses (``dft``, ``SC_d128`` .. ``SC_d20``, ``SIFT``), plus
+parameterised synthetic instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.stream.program import StreamProgram
+from repro.workloads.dft import dft
+from repro.workloads.media import jpeg_decode, mpeg2_decode
+from repro.workloads.sift import sift
+from repro.workloads.streamcluster import STREAMCLUSTER_RATIOS, streamcluster
+
+__all__ = ["workload_names", "build_workload", "realistic_workloads"]
+
+_FACTORIES: Dict[str, Callable[[], StreamProgram]] = {
+    "dft": dft,
+    "SIFT": sift,
+    "jpeg-decode": jpeg_decode,
+    "mpeg2-decode": mpeg2_decode,
+}
+for _dim in sorted(STREAMCLUSTER_RATIOS):
+    _FACTORIES[f"SC_d{_dim}"] = (
+        lambda dimension=_dim: streamcluster(dimension)
+    )
+
+
+def workload_names() -> List[str]:
+    """All registered workload names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def build_workload(name: str) -> StreamProgram:
+    """Build a registered workload by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+        ) from None
+    return factory()
+
+
+def realistic_workloads() -> List[str]:
+    """The three realistic workloads of Figure 14, in paper order."""
+    return ["dft", "SC_d128", "SIFT"]

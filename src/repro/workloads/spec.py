@@ -1,0 +1,147 @@
+"""User-defined workloads from declarative JSON specs.
+
+Reproducing new workloads should not require writing Python: a JSON
+document describes the phase structure and per-phase characteristics,
+either as a published-style memory-to-compute *ratio* (calibrated
+against the reference machine, like Tables II/III) or as explicit
+*requests* and *compute_seconds*.
+
+Example::
+
+    {
+      "name": "my-pipeline",
+      "phases": [
+        {"name": "ingest",  "pairs": 64, "ratio": 0.55},
+        {"name": "crunch",  "pairs": 96, "ratio": 0.08},
+        {"name": "emit",    "pairs": 32,
+         "requests": 8192, "compute_seconds": 0.0012}
+      ]
+    }
+
+Load with :func:`load_workload_spec` (a path or an already-parsed
+dict).  Validation is eager and names the offending phase.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Union
+
+from repro.errors import WorkloadError
+from repro.stream.program import ProgramPhase, StreamProgram, build_phase
+from repro.units import cache_lines
+from repro.workloads.base import DEFAULT_FOOTPRINT_BYTES, compute_time_for_ratio
+
+__all__ = ["load_workload_spec", "parse_workload_spec"]
+
+_PHASE_KEYS = {
+    "name",
+    "pairs",
+    "ratio",
+    "requests",
+    "compute_seconds",
+    "footprint_bytes",
+}
+
+
+def load_workload_spec(source: Union[str, pathlib.Path]) -> StreamProgram:
+    """Load a workload spec from a JSON file."""
+    path = pathlib.Path(source)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise WorkloadError(f"cannot read workload spec {path}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"workload spec {path} is not valid JSON: {exc}") from exc
+    return parse_workload_spec(document)
+
+
+def parse_workload_spec(document: Dict[str, Any]) -> StreamProgram:
+    """Build a stream program from a parsed spec document."""
+    if not isinstance(document, dict):
+        raise WorkloadError(
+            f"workload spec must be a JSON object, got {type(document).__name__}"
+        )
+    name = document.get("name")
+    if not name or not isinstance(name, str):
+        raise WorkloadError("workload spec needs a non-empty string 'name'")
+    raw_phases = document.get("phases")
+    if not isinstance(raw_phases, list) or not raw_phases:
+        raise WorkloadError(
+            f"workload {name!r} needs a non-empty 'phases' list"
+        )
+
+    phases: List[ProgramPhase] = []
+    for index, raw in enumerate(raw_phases):
+        phases.append(_parse_phase(name, index, raw))
+    return StreamProgram(name, phases)
+
+
+def _parse_phase(workload: str, index: int, raw: Any) -> ProgramPhase:
+    if not isinstance(raw, dict):
+        raise WorkloadError(
+            f"{workload!r} phase {index} must be an object, got "
+            f"{type(raw).__name__}"
+        )
+    unknown = set(raw) - _PHASE_KEYS
+    if unknown:
+        raise WorkloadError(
+            f"{workload!r} phase {index} has unknown keys {sorted(unknown)}; "
+            f"allowed: {sorted(_PHASE_KEYS)}"
+        )
+    phase_name = raw.get("name", f"phase{index}")
+    pairs = raw.get("pairs")
+    if not isinstance(pairs, int) or pairs < 1:
+        raise WorkloadError(
+            f"{workload!r} phase {phase_name!r} needs integer 'pairs' >= 1"
+        )
+    footprint = raw.get("footprint_bytes", DEFAULT_FOOTPRINT_BYTES)
+    if not isinstance(footprint, int) or footprint <= 0:
+        raise WorkloadError(
+            f"{workload!r} phase {phase_name!r}: 'footprint_bytes' must be a "
+            "positive integer"
+        )
+
+    has_ratio = "ratio" in raw
+    has_explicit = "requests" in raw or "compute_seconds" in raw
+    if has_ratio and has_explicit:
+        raise WorkloadError(
+            f"{workload!r} phase {phase_name!r}: give either 'ratio' or "
+            "'requests'+'compute_seconds', not both"
+        )
+
+    if has_ratio:
+        ratio = raw["ratio"]
+        if not isinstance(ratio, (int, float)) or ratio <= 0:
+            raise WorkloadError(
+                f"{workload!r} phase {phase_name!r}: 'ratio' must be positive"
+            )
+        requests = float(cache_lines(footprint))
+        compute_seconds = compute_time_for_ratio(float(ratio), footprint)
+    else:
+        requests = raw.get("requests")
+        compute_seconds = raw.get("compute_seconds")
+        if not isinstance(requests, (int, float)) or requests <= 0:
+            raise WorkloadError(
+                f"{workload!r} phase {phase_name!r}: needs positive 'requests' "
+                "(or use 'ratio')"
+            )
+        if not isinstance(compute_seconds, (int, float)) or compute_seconds <= 0:
+            raise WorkloadError(
+                f"{workload!r} phase {phase_name!r}: needs positive "
+                "'compute_seconds' (or use 'ratio')"
+            )
+        requests = float(requests)
+        compute_seconds = float(compute_seconds)
+
+    return build_phase(
+        name=str(phase_name),
+        phase_index=index,
+        pair_count=pairs,
+        requests_per_memory_task=requests,
+        compute_seconds_per_task=compute_seconds,
+        footprint_bytes=footprint,
+    )

@@ -1,0 +1,66 @@
+"""Tests for machine-readable result export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import result_to_dict, result_to_json, series_to_csv
+from repro.analysis.figures import Series
+from repro.errors import MeasurementError
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import simulate
+from repro.stream.program import StreamProgram, build_phase
+
+
+def small_result():
+    program = StreamProgram("exported", [build_phase("p", 0, 4, 2048, 5e-4)])
+    return simulate(program, FixedMtlPolicy(2))
+
+
+class TestResultExport:
+    def test_dict_contains_summary_and_records(self):
+        result = small_result()
+        data = result_to_dict(result)
+        assert data["program"] == "exported"
+        assert data["policy"] == "static-mtl-2"
+        assert data["makespan"] == pytest.approx(result.makespan)
+        assert len(data["records"]) == 8
+        kinds = {r["kind"] for r in data["records"]}
+        assert kinds == {"memory", "compute"}
+
+    def test_json_round_trips(self):
+        text = result_to_json(small_result())
+        parsed = json.loads(text)
+        assert parsed["context_count"] == 4
+        assert parsed["mtl_changes"][0]["new_mtl"] == 2
+
+    def test_records_reconstruct_makespan(self):
+        data = result_to_dict(small_result())
+        assert max(r["end"] for r in data["records"]) == pytest.approx(
+            data["makespan"]
+        )
+
+
+class TestSeriesCsv:
+    def test_shared_x_column(self):
+        csv = series_to_csv(
+            [
+                Series("a", ((1.0, 10.0), (2.0, 20.0))),
+                Series("b", ((1.0, 11.0), (3.0, 31.0))),
+            ]
+        )
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1.0,10.0,11.0"
+        assert lines[2] == "2.0,20.0,"      # b has no point at x=2
+        assert lines[3] == "3.0,,31.0"
+
+    def test_quoting(self):
+        csv = series_to_csv([Series('weird,"name"', ((0.0, 1.0),))])
+        assert csv.splitlines()[0] == 'x,"weird,""name"""'
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            series_to_csv([])
+        with pytest.raises(MeasurementError):
+            series_to_csv([Series("a", ((0, 0),)), Series("a", ((1, 1),))])

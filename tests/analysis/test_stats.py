@@ -1,0 +1,73 @@
+"""Tests for statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    linear_fit,
+    stdev,
+)
+from repro.errors import MeasurementError
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity_on_constant(self):
+        assert geometric_mean([1.12, 1.12, 1.12]) == pytest.approx(1.12)
+
+    def test_rejects_empty_and_non_positive(self):
+        with pytest.raises(MeasurementError):
+            geometric_mean([])
+        with pytest.raises(MeasurementError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=1,
+                    max_size=12))
+    def test_property_bounded_by_extremes(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-12 <= gm <= max(values) + 1e-12
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=2,
+                    max_size=12))
+    def test_property_never_exceeds_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-12
+
+
+class TestBasicStats:
+    def test_mean_and_stdev(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert stdev([2.0, 2.0, 2.0]) == 0.0
+        assert stdev([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(MeasurementError):
+            arithmetic_mean([])
+        with pytest.raises(MeasurementError):
+            stdev([])
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_noisy_line_has_high_r_squared(self):
+        xs = list(range(10))
+        ys = [2.0 * x + 1.0 + (0.1 if x % 2 else -0.1) for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.r_squared > 0.99
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            linear_fit([1], [2])
+        with pytest.raises(MeasurementError):
+            linear_fit([1, 2], [3])
+        with pytest.raises(MeasurementError):
+            linear_fit([2, 2], [1, 3])

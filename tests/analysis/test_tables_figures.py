@@ -1,0 +1,94 @@
+"""Tests for table rendering, figures, and report formatting."""
+
+import pytest
+
+from repro.analysis.figures import Series, ascii_chart
+from repro.analysis.report import (
+    format_comparison,
+    format_comparison_grid,
+    geomean_improvement,
+)
+from repro.analysis.tables import format_percent, format_speedup, render_table
+from repro.errors import MeasurementError
+from repro.runtime.experiment import ComparisonResult, PolicyOutcome
+
+
+def comparison(name="wl", speedup=1.1, mtl=2):
+    outcome = PolicyOutcome(
+        policy_name="dyn", makespan=1.0, speedup=speedup,
+        selected_mtl=mtl, probe_fraction=0.01,
+    )
+    return ComparisonResult(
+        program_name=name, machine_name="i7-860/1ch",
+        baseline_makespan=speedup, outcomes=(outcome,),
+    )
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["A", "Benchmark"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+        assert "Benchmark" in lines[0]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(MeasurementError):
+            render_table(["A", "B"], [["only-one"]])
+        with pytest.raises(MeasurementError):
+            render_table([], [])
+
+    def test_formatters(self):
+        assert format_percent(0.3714) == "37.14%"
+        assert format_percent(0.0004, decimals=2) == "0.04%"
+        assert format_speedup(1.2129) == "1.213x"
+
+
+class TestSeriesAndChart:
+    def test_series_accessors(self):
+        series = Series("measured", ((0.1, 1.0), (0.2, 1.1)))
+        assert series.xs == [0.1, 0.2]
+        assert series.ys == [1.0, 1.1]
+
+    def test_series_validation(self):
+        with pytest.raises(MeasurementError):
+            Series("", ((0, 0),))
+        with pytest.raises(MeasurementError):
+            Series("x", ((0, 0),), marker="ab")
+
+    def test_chart_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            [
+                Series("analytical", ((0.0, 1.0), (1.0, 1.2)), marker="."),
+                Series("measured", ((0.0, 1.0), (1.0, 1.19)), marker="*"),
+            ],
+            title="Figure 13",
+        )
+        assert "Figure 13" in chart
+        assert "*" in chart and "." in chart
+        assert "analytical" in chart and "measured" in chart
+
+    def test_chart_validation(self):
+        with pytest.raises(MeasurementError):
+            ascii_chart([], title="empty")
+        with pytest.raises(MeasurementError):
+            ascii_chart([Series("s", ((0, 0),))], width=4)
+
+
+class TestReportFormatting:
+    def test_format_comparison_mentions_everything(self):
+        text = format_comparison(comparison())
+        assert "wl" in text
+        assert "dyn" in text
+        assert "1.100x" in text
+
+    def test_grid_one_row_per_workload(self):
+        text = format_comparison_grid(
+            [comparison("a"), comparison("b")], ["dyn"]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_geomean_improvement(self):
+        results = [comparison(speedup=1.1), comparison(speedup=1.1)]
+        assert geomean_improvement(results, "dyn") == pytest.approx(0.1)

@@ -1,0 +1,58 @@
+"""Tests for the MTL/concurrency timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import render_timeline
+from repro.core import DynamicThrottlingPolicy
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import simulate
+from repro.workloads import synthetic_from_ratio
+
+
+class TestRenderTimeline:
+    def test_rows_have_requested_width(self):
+        result = simulate(synthetic_from_ratio(0.5, pairs=16), FixedMtlPolicy(2))
+        text = render_timeline(result, width=40)
+        lines = text.splitlines()
+        assert lines[1].startswith("MTL  |")
+        assert len(lines[1]) == len("MTL  |") + 40 + 1
+        assert len(lines[2]) == len(lines[1])
+
+    def test_static_policy_shows_constant_mtl(self):
+        result = simulate(synthetic_from_ratio(0.5, pairs=16), FixedMtlPolicy(3))
+        mtl_row = render_timeline(result, width=30).splitlines()[1]
+        body = mtl_row.split("|")[1]
+        assert set(body) == {"3"}
+
+    def test_memory_row_never_exceeds_mtl_row(self):
+        result = simulate(synthetic_from_ratio(1.0, pairs=24), FixedMtlPolicy(2))
+        lines = render_timeline(result, width=50).splitlines()
+        mtl_body = lines[1].split("|")[1]
+        mem_body = lines[2].split("|")[1]
+        for mtl_char, mem_char in zip(mtl_body, mem_body):
+            mtl = int(mtl_char) if mtl_char != "." else 0
+            mem = int(mem_char) if mem_char != "." else 0
+            assert mem <= mtl
+
+    def test_dynamic_policy_shows_the_switch(self):
+        result = simulate(
+            synthetic_from_ratio(0.25, pairs=120),
+            DynamicThrottlingPolicy(context_count=4),
+        )
+        mtl_body = render_timeline(result, width=60).splitlines()[1].split("|")[1]
+        assert "4" in mtl_body  # initial unthrottled monitoring
+        assert "1" in mtl_body  # the selected D-MTL
+
+    def test_empty_result(self):
+        empty = SimulationResult(
+            program_name="p", machine_name="m", policy_name="pol",
+            context_count=1, records=(), mtl_changes=(),
+        )
+        assert "empty timeline" in render_timeline(empty)
+
+    def test_rejects_tiny_width(self):
+        result = simulate(synthetic_from_ratio(0.5, pairs=4), FixedMtlPolicy(1))
+        with pytest.raises(ConfigurationError):
+            render_timeline(result, width=4)

@@ -1,0 +1,96 @@
+"""Tests for the adaptive-window throttling extension."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveWindowThrottlingPolicy
+from repro.core.throttle import DynamicThrottlingPolicy
+from repro.errors import ConfigurationError
+from repro.sim.scheduler import conventional_policy
+from repro.sim.simulator import simulate
+from repro.stream.program import StreamProgram, build_phase
+from repro.workloads import dft
+from repro.workloads.base import REFERENCE_SOLO_LATENCY
+
+
+def synthetic(ratio: float, pairs: int) -> StreamProgram:
+    t_m1 = 8192 * REFERENCE_SOLO_LATENCY
+    return StreamProgram(
+        f"synthetic-{ratio}", [build_phase("p", 0, pairs, 8192, t_m1 / ratio)]
+    )
+
+
+class TestConfiguration:
+    def test_name(self):
+        policy = AdaptiveWindowThrottlingPolicy(context_count=4)
+        assert policy.name == "adaptive-window-throttling"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveWindowThrottlingPolicy(context_count=4, min_window=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveWindowThrottlingPolicy(
+                context_count=4, min_window=8, max_window=4
+            )
+        with pytest.raises(ConfigurationError):
+            AdaptiveWindowThrottlingPolicy(context_count=4, budget_fraction=0.0)
+
+
+class TestWindowGrowth:
+    def test_starts_at_min_window(self):
+        policy = AdaptiveWindowThrottlingPolicy(context_count=4, min_window=4)
+        assert policy.window_pairs == 4
+
+    def test_window_grows_on_long_programs(self):
+        policy = AdaptiveWindowThrottlingPolicy(
+            context_count=4, min_window=4, max_window=24
+        )
+        simulate(synthetic(0.5, pairs=400), policy)
+        assert policy.window_pairs > 4
+
+    def test_window_capped_at_max(self):
+        policy = AdaptiveWindowThrottlingPolicy(
+            context_count=4, min_window=4, max_window=12
+        )
+        simulate(synthetic(0.5, pairs=400), policy)
+        assert policy.window_pairs <= 12
+
+    def test_window_stays_small_on_short_programs(self):
+        policy = AdaptiveWindowThrottlingPolicy(
+            context_count=4, min_window=4, budget_fraction=0.15
+        )
+        simulate(synthetic(0.5, pairs=30), policy)
+        assert policy.window_pairs <= 8
+
+
+class TestEffectiveness:
+    def test_selects_the_right_mtl(self):
+        policy = AdaptiveWindowThrottlingPolicy(context_count=4)
+        result = simulate(synthetic(0.25, pairs=200), policy)
+        assert result.dominant_mtl() == 1
+
+    def test_beats_fixed_w16_on_dft(self):
+        # dft has 96 pairs: the fixed W=16 policy spends too much of
+        # the program monitoring; the adaptive policy's small bootstrap
+        # window decides faster (the Figure 15 pathology, fixed).
+        program = dft()
+        baseline = simulate(program, conventional_policy(4)).makespan
+        fixed = simulate(
+            program, DynamicThrottlingPolicy(context_count=4, window_pairs=16)
+        )
+        adaptive = simulate(
+            program, AdaptiveWindowThrottlingPolicy(context_count=4)
+        )
+        assert baseline / adaptive.makespan > baseline / fixed.makespan
+
+    def test_matches_fixed_policy_on_long_programs(self):
+        program = synthetic(0.5, pairs=400)
+        baseline = simulate(program, conventional_policy(4)).makespan
+        fixed = simulate(
+            program, DynamicThrottlingPolicy(context_count=4, window_pairs=16)
+        )
+        adaptive = simulate(
+            program, AdaptiveWindowThrottlingPolicy(context_count=4)
+        )
+        assert baseline / adaptive.makespan == pytest.approx(
+            baseline / fixed.makespan, abs=0.02
+        )

@@ -1,0 +1,131 @@
+"""Tests for binary-search MTL selection (Section IV-C)."""
+
+import pytest
+
+from repro.core.model import AnalyticalModel
+from repro.core.selection import MtlSelector
+from repro.errors import MeasurementError, ModelError
+from repro.memory.contention import nehalem_ddr3_contention
+
+QUAD = AnalyticalModel(core_count=4)
+
+
+def measured_t_m(k: int, scale: float = 1.0) -> float:
+    """T_mk following the calibrated linear law, scaled."""
+    return scale * nehalem_ddr3_contention().request_latency(k) * 1e7
+
+
+def run_selection(t_c: float, scale: float = 1.0, seed_mtl: int = None):
+    """Drive a selector to completion, answering probes from the
+    linear law; returns (decision, probed_mtls)."""
+    selector = MtlSelector(QUAD)
+    probed = []
+    if seed_mtl is not None:
+        selector.provide(seed_mtl, measured_t_m(seed_mtl, scale), t_c)
+        probed.append(seed_mtl)
+    while not selector.done:
+        mtl = selector.next_probe()
+        probed.append(mtl)
+        selector.provide(mtl, measured_t_m(mtl, scale), t_c)
+    return selector.decision(), probed
+
+
+class TestBinarySearch:
+    def test_compute_heavy_selects_mtl_one(self):
+        # T_m1 ~ 0.64, T_c = 10: ratio far below 1/3 everywhere.
+        decision, probed = run_selection(t_c=10.0)
+        assert decision.mtl_no_idle == 1
+        assert decision.mtl_idle is None
+        assert decision.selected_mtl == 1
+
+    def test_memory_heavy_compares_boundary_pair(self):
+        # T_c small: cores idle up to MTL=3, so candidates are 3 and 4.
+        decision, probed = run_selection(t_c=0.05)
+        assert decision.mtl_no_idle == 4
+        assert decision.mtl_idle == 3
+        assert decision.selected_mtl in (3, 4)
+
+    def test_intermediate_ratio_candidates(self):
+        # T_c = 1.0: T_m1 ~ 0.64 > 1/3 (idle at 1), T_m2 ~ 0.82 <= 1
+        # (busy at 2): candidates 1 and 2.
+        decision, _ = run_selection(t_c=1.0)
+        assert decision.mtl_no_idle == 2
+        assert decision.mtl_idle == 1
+
+    def test_probe_count_is_logarithmic_not_linear(self):
+        # The whole point of the pruning: far fewer than n windows.
+        _, probed = run_selection(t_c=1.0)
+        assert len(probed) <= 3  # vs 4 for exhaustive search
+
+    def test_seeding_with_current_measurement_shortens_search(self):
+        _, probed_unseeded = run_selection(t_c=1.0)
+        decision, probed_seeded = run_selection(t_c=1.0, seed_mtl=2)
+        # Seeded run must not repeat MTL 2 and must reach the same answer.
+        assert probed_seeded.count(2) == 1
+        assert decision.mtl_no_idle == 2
+
+    def test_probes_never_repeat(self):
+        for t_c in (0.05, 0.3, 1.0, 10.0):
+            _, probed = run_selection(t_c=t_c)
+            assert len(probed) == len(set(probed))
+
+
+class TestDecisionContents:
+    def test_metrics_follow_model(self):
+        decision, _ = run_selection(t_c=1.0)
+        t_m2, t_c = decision.measurements[2]
+        assert decision.busy_metric == pytest.approx(1.0 / (t_m2 + t_c))
+        t_m1, _ = decision.measurements[1]
+        assert decision.idle_metric == pytest.approx(1.0 / (t_m1 * 4.0))
+
+    def test_selected_is_argmax_of_metrics(self):
+        decision, _ = run_selection(t_c=1.0)
+        if decision.idle_metric is not None:
+            expected = (
+                decision.mtl_idle
+                if decision.idle_metric > decision.busy_metric
+                else decision.mtl_no_idle
+            )
+            assert decision.selected_mtl == expected
+
+    def test_probes_used_counts_windows(self):
+        decision, probed = run_selection(t_c=1.0)
+        assert decision.probes_used == len(probed)
+
+
+class TestProtocolErrors:
+    def test_decision_before_done_raises(self):
+        selector = MtlSelector(QUAD)
+        with pytest.raises(MeasurementError):
+            selector.decision()
+
+    def test_double_measurement_rejected(self):
+        selector = MtlSelector(QUAD)
+        selector.provide(2, 1.0, 1.0)
+        with pytest.raises(MeasurementError):
+            selector.provide(2, 1.0, 1.0)
+
+    def test_out_of_range_mtl_rejected(self):
+        selector = MtlSelector(QUAD)
+        with pytest.raises(ModelError):
+            selector.provide(5, 1.0, 1.0)
+
+    def test_invalid_times_rejected(self):
+        selector = MtlSelector(QUAD)
+        with pytest.raises(MeasurementError):
+            selector.provide(2, 0.0, 1.0)
+        with pytest.raises(MeasurementError):
+            selector.provide(2, 1.0, -1.0)
+
+    def test_provide_after_decision_rejected(self):
+        decision_selector = MtlSelector(AnalyticalModel(core_count=1))
+        decision_selector.provide(1, 1.0, 1.0)
+        assert decision_selector.done
+        with pytest.raises(MeasurementError):
+            decision_selector.provide(1, 2.0, 1.0)
+
+    def test_single_core_machine_decides_immediately_after_one_window(self):
+        selector = MtlSelector(AnalyticalModel(core_count=1))
+        assert selector.next_probe() == 1
+        selector.provide(1, 1.0, 1.0)
+        assert selector.decision().selected_mtl == 1

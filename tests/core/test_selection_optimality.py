@@ -1,0 +1,102 @@
+"""Property tests: the two-candidate pruning is actually optimal.
+
+Section IV-C's claim is that comparing only ``MTL_NoIdle`` and
+``MTL_Idle`` finds the best MTL, *given* the model's assumptions
+(``T_mk`` non-decreasing in ``k`` with the linear decomposition).
+These tests drive the selector with randomly generated measurement
+families satisfying the assumptions and verify the decision against a
+brute-force argmax over all n MTLs — the strongest check the lemmas
+admit.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import AnalyticalModel
+from repro.core.selection import MtlSelector
+
+N = 4
+MODEL = AnalyticalModel(core_count=N)
+
+
+@st.composite
+def linear_measurements(draw):
+    """(T_m1..T_mn, T_c) following T_mk = T_ml + k*T_ql."""
+    t_ml = draw(st.floats(min_value=0.01, max_value=10.0))
+    t_ql = draw(st.floats(min_value=0.0, max_value=5.0))
+    t_c = draw(st.floats(min_value=0.01, max_value=50.0))
+    t_m = {k: t_ml + k * t_ql for k in range(1, N + 1)}
+    return t_m, t_c
+
+
+def drive_selector(t_m, t_c):
+    selector = MtlSelector(MODEL)
+    while not selector.done:
+        k = selector.next_probe()
+        selector.provide(k, t_m[k], t_c)
+    return selector.decision()
+
+
+def brute_force_best(t_m, t_c):
+    speedups = {
+        k: MODEL.speedup(t_m[k], t_c, k, t_m[N]) for k in range(1, N + 1)
+    }
+    best = max(speedups.values())
+    return {k for k, s in speedups.items() if s == pytest.approx(best)}, speedups
+
+
+@settings(max_examples=300)
+@given(measurements=linear_measurements())
+def test_property_selector_matches_brute_force(measurements):
+    t_m, t_c = measurements
+    decision = drive_selector(t_m, t_c)
+    best_set, speedups = brute_force_best(t_m, t_c)
+    chosen = speedups[decision.selected_mtl]
+    # The chosen MTL's model speedup equals the brute-force optimum
+    # (ties are legitimate: with T_ql = 0 every MTL performs alike).
+    assert chosen == pytest.approx(max(speedups.values()), rel=1e-9)
+
+
+@settings(max_examples=300)
+@given(measurements=linear_measurements())
+def test_property_candidates_bracket_the_boundary(measurements):
+    t_m, t_c = measurements
+    decision = drive_selector(t_m, t_c)
+    # MTL_NoIdle is all-busy; everything below idles.
+    assert not MODEL.cores_idle(t_m[decision.mtl_no_idle], t_c,
+                                decision.mtl_no_idle)
+    if decision.mtl_idle is not None:
+        assert MODEL.cores_idle(t_m[decision.mtl_idle], t_c,
+                                decision.mtl_idle)
+        assert decision.mtl_idle == decision.mtl_no_idle - 1
+
+
+@settings(max_examples=300)
+@given(measurements=linear_measurements())
+def test_property_probe_budget_is_logarithmic(measurements):
+    t_m, t_c = measurements
+    decision = drive_selector(t_m, t_c)
+    # ceil(log2(4)) + 1 fill-in = 3 windows max for n = 4.
+    assert decision.probes_used <= 3
+
+
+@settings(max_examples=200)
+@given(
+    measurements=linear_measurements(),
+    seed_mtl=st.integers(min_value=1, max_value=N),
+)
+def test_property_seeding_never_changes_the_answer(measurements, seed_mtl):
+    t_m, t_c = measurements
+    unseeded = drive_selector(t_m, t_c)
+
+    selector = MtlSelector(MODEL)
+    selector.provide(seed_mtl, t_m[seed_mtl], t_c)
+    while not selector.done:
+        k = selector.next_probe()
+        selector.provide(k, t_m[k], t_c)
+    seeded = selector.decision()
+
+    _, speedups = brute_force_best(t_m, t_c)
+    assert speedups[seeded.selected_mtl] == pytest.approx(
+        speedups[unseeded.selected_mtl], rel=1e-9
+    )

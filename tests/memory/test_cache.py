@@ -1,0 +1,87 @@
+"""Unit and property tests for the LLC capacity model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import LastLevelCache
+from repro.units import mebibytes
+
+
+def i7_llc() -> LastLevelCache:
+    """The paper's 8 MB LLC shared by four cores."""
+    return LastLevelCache(capacity_bytes=mebibytes(8), sharers=4)
+
+
+class TestValidation:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LastLevelCache(capacity_bytes=0, sharers=4)
+
+    def test_rejects_non_positive_sharers(self):
+        with pytest.raises(ConfigurationError):
+            LastLevelCache(capacity_bytes=mebibytes(8), sharers=0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            LastLevelCache(capacity_bytes=mebibytes(8), sharers=4, overhead_bytes=-1)
+
+    def test_rejects_negative_footprint_queries(self):
+        cache = i7_llc()
+        with pytest.raises(ConfigurationError):
+            cache.fits(-1)
+        with pytest.raises(ConfigurationError):
+            cache.miss_fraction(-1)
+
+
+class TestPaperFootprints:
+    """The three footprints of Figure 13: 0.5 and 1 MB fit, 2 MB spills."""
+
+    def test_half_megabyte_fits(self):
+        assert i7_llc().fits(mebibytes(0.5))
+        assert i7_llc().miss_fraction(mebibytes(0.5)) == 0.0
+
+    def test_one_megabyte_fits(self):
+        assert i7_llc().fits(mebibytes(1))
+        assert i7_llc().miss_fraction(mebibytes(1)) == 0.0
+
+    def test_two_megabytes_spill(self):
+        # 8 MB / 4 cores - 0.25 MB overhead = 1.75 MB share < 2 MB.
+        cache = i7_llc()
+        assert not cache.fits(mebibytes(2))
+        fraction = cache.miss_fraction(mebibytes(2))
+        assert fraction == pytest.approx(0.125)
+
+    def test_per_core_share(self):
+        assert i7_llc().per_core_share_bytes == mebibytes(1.75)
+
+
+class TestMissFractionShape:
+    def test_zero_footprint_never_misses(self):
+        assert i7_llc().miss_fraction(0) == 0.0
+
+    def test_share_floor_at_zero_when_overhead_dominates(self):
+        cache = LastLevelCache(
+            capacity_bytes=mebibytes(1), sharers=8, overhead_bytes=mebibytes(1)
+        )
+        assert cache.per_core_share_bytes == 0
+        assert cache.miss_fraction(mebibytes(1)) == 1.0
+
+    @given(footprint=st.integers(min_value=0, max_value=mebibytes(64)))
+    def test_property_fraction_bounded(self, footprint):
+        fraction = i7_llc().miss_fraction(footprint)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(
+        f1=st.integers(min_value=0, max_value=mebibytes(64)),
+        f2=st.integers(min_value=0, max_value=mebibytes(64)),
+    )
+    def test_property_fraction_monotone_in_footprint(self, f1, f2):
+        cache = i7_llc()
+        low, high = min(f1, f2), max(f1, f2)
+        assert cache.miss_fraction(low) <= cache.miss_fraction(high)
+
+    @given(footprint=st.integers(min_value=1, max_value=mebibytes(64)))
+    def test_property_fits_iff_zero_miss_fraction(self, footprint):
+        cache = i7_llc()
+        assert cache.fits(footprint) == (cache.miss_fraction(footprint) == 0.0)

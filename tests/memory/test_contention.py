@@ -1,0 +1,161 @@
+"""Unit and property tests for the closed-form contention models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.contention import (
+    BandwidthShareModel,
+    ContentionModel,
+    LinearContentionModel,
+    PowerLawContentionModel,
+    nehalem_ddr3_contention,
+)
+from repro.units import CACHE_LINE_BYTES, NANOSECONDS
+
+
+class TestLinearContentionModel:
+    def test_matches_paper_decomposition(self):
+        # T_mb = T_ml + b * T_ql (Section IV-C of the paper).
+        model = LinearContentionModel(
+            contention_free_latency=50 * NANOSECONDS, queueing_latency=10 * NANOSECONDS
+        )
+        for b in range(1, 9):
+            assert model.request_latency(b) == pytest.approx(
+                (50 + 10 * b) * NANOSECONDS
+            )
+
+    def test_concurrency_below_one_clamps_to_one(self):
+        model = LinearContentionModel(1e-8, 1e-9)
+        assert model.request_latency(0.3) == model.request_latency(1.0)
+
+    def test_channels_divide_queueing_term_only(self):
+        model = LinearContentionModel(
+            contention_free_latency=40 * NANOSECONDS, queueing_latency=20 * NANOSECONDS
+        )
+        single = model.request_latency(4, channels=1)
+        dual = model.request_latency(4, channels=2)
+        assert dual == pytest.approx((40 + 40) * NANOSECONDS)
+        assert single == pytest.approx((40 + 80) * NANOSECONDS)
+        assert dual < single
+
+    def test_latency_ratio_is_relative_to_solo(self):
+        model = LinearContentionModel(3e-8, 1e-8)
+        assert model.latency_ratio(1) == pytest.approx(1.0)
+        assert model.latency_ratio(4) == pytest.approx(7.0 / 4.0)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LinearContentionModel(contention_free_latency=0, queueing_latency=1e-9)
+        with pytest.raises(ConfigurationError):
+            LinearContentionModel(contention_free_latency=1e-9, queueing_latency=-1.0)
+
+    def test_rejects_invalid_query(self):
+        model = LinearContentionModel(1e-8, 1e-9)
+        with pytest.raises(ConfigurationError):
+            model.request_latency(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.request_latency(2.0, channels=0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(LinearContentionModel(1e-8, 1e-9), ContentionModel)
+
+    @given(
+        t_ml=st.floats(min_value=1e-10, max_value=1e-6),
+        t_ql=st.floats(min_value=0.0, max_value=1e-6),
+        c1=st.floats(min_value=1.0, max_value=64.0),
+        c2=st.floats(min_value=1.0, max_value=64.0),
+    )
+    def test_property_latency_non_decreasing_in_concurrency(self, t_ml, t_ql, c1, c2):
+        model = LinearContentionModel(t_ml, t_ql)
+        low, high = min(c1, c2), max(c1, c2)
+        assert model.request_latency(low) <= model.request_latency(high)
+
+    @given(
+        t_ml=st.floats(min_value=1e-10, max_value=1e-6),
+        t_ql=st.floats(min_value=1e-10, max_value=1e-6),
+        b=st.integers(min_value=1, max_value=32),
+    )
+    def test_property_selection_lemma_ratio(self, t_ml, t_ql, b):
+        # The MTL-selection proof needs T_mb / T_m(b+1) > b / (b+1),
+        # which holds for any positive T_ml (Section IV-C).
+        model = LinearContentionModel(t_ml, t_ql)
+        ratio = model.request_latency(b) / model.request_latency(b + 1)
+        assert ratio > b / (b + 1)
+
+
+class TestPowerLawContentionModel:
+    def test_alpha_one_degenerates_to_linear(self):
+        linear = LinearContentionModel(4e-8, 2e-8)
+        power = PowerLawContentionModel(4e-8, 2e-8, alpha=1.0)
+        for c in (1, 2, 3.5, 8):
+            assert power.request_latency(c) == pytest.approx(
+                linear.request_latency(c)
+            )
+
+    def test_superlinear_alpha_amplifies_contention(self):
+        mild = PowerLawContentionModel(4e-8, 2e-8, alpha=1.0)
+        harsh = PowerLawContentionModel(4e-8, 2e-8, alpha=1.5)
+        assert harsh.request_latency(4) > mild.request_latency(4)
+        assert harsh.request_latency(1) == pytest.approx(mild.request_latency(1))
+
+    def test_rejects_non_positive_alpha(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawContentionModel(4e-8, 2e-8, alpha=0.0)
+
+    @given(
+        alpha=st.floats(min_value=0.25, max_value=3.0),
+        c1=st.floats(min_value=1.0, max_value=32.0),
+        c2=st.floats(min_value=1.0, max_value=32.0),
+    )
+    def test_property_monotone_for_any_alpha(self, alpha, c1, c2):
+        model = PowerLawContentionModel(4e-8, 2e-8, alpha=alpha)
+        low, high = min(c1, c2), max(c1, c2)
+        assert model.request_latency(low) <= model.request_latency(high)
+
+
+class TestBandwidthShareModel:
+    def test_flat_until_saturation(self):
+        # 8.5 GB/s channel; one 64 B line at full rate takes ~7.5 ns, so
+        # with a 60 ns unloaded latency the knee sits near c = 8.
+        model = BandwidthShareModel(
+            unloaded_latency=60 * NANOSECONDS, peak_bandwidth=8.5e9
+        )
+        assert model.request_latency(1) == pytest.approx(60 * NANOSECONDS)
+        assert model.request_latency(4) == pytest.approx(60 * NANOSECONDS)
+
+    def test_linear_growth_beyond_saturation(self):
+        model = BandwidthShareModel(
+            unloaded_latency=60 * NANOSECONDS, peak_bandwidth=8.5e9
+        )
+        c = 16
+        expected = CACHE_LINE_BYTES * c / 8.5e9
+        assert model.request_latency(c) == pytest.approx(expected)
+
+    def test_channels_scale_the_knee(self):
+        model = BandwidthShareModel(
+            unloaded_latency=60 * NANOSECONDS, peak_bandwidth=8.5e9
+        )
+        assert model.request_latency(16, channels=2) < model.request_latency(
+            16, channels=1
+        )
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthShareModel(unloaded_latency=0.0, peak_bandwidth=1e9)
+        with pytest.raises(ConfigurationError):
+            BandwidthShareModel(unloaded_latency=1e-8, peak_bandwidth=0.0)
+
+
+class TestNehalemCalibration:
+    def test_solo_latency_near_real_ddr3(self):
+        model = nehalem_ddr3_contention()
+        assert model.request_latency(1) == pytest.approx(64.3 * NANOSECONDS)
+
+    def test_four_way_ratio_places_peak_speedup_at_1_21(self):
+        # (L(4)/L(1) + 3) / 4 is the synthetic-sweep peak speedup in
+        # region S-MTL=1; the paper measures up to 1.21x.
+        model = nehalem_ddr3_contention()
+        ratio = model.latency_ratio(4)
+        assert ratio == pytest.approx(1.84, abs=0.01)
+        assert (ratio + 3) / 4 == pytest.approx(1.21, abs=0.005)

@@ -1,0 +1,107 @@
+"""Tests for the bank-level DRAM simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.dram import (
+    AddressMapper,
+    DramSimulator,
+    measure_latency_curve,
+)
+from repro.memory.timing import DDR3_1066
+from repro.units import CACHE_LINE_BYTES
+
+
+class TestAddressMapper:
+    def test_sequential_lines_share_a_row(self):
+        mapper = AddressMapper(timing=DDR3_1066, channels=1)
+        first = mapper.decode(0)
+        second = mapper.decode(CACHE_LINE_BYTES)
+        assert (first.bank, first.row) == (second.bank, second.row)
+
+    def test_row_crossing_changes_bank(self):
+        mapper = AddressMapper(timing=DDR3_1066, channels=1)
+        lines_per_row = DDR3_1066.row_bytes // CACHE_LINE_BYTES
+        last_in_row = mapper.decode((lines_per_row - 1) * CACHE_LINE_BYTES)
+        first_of_next = mapper.decode(lines_per_row * CACHE_LINE_BYTES)
+        assert first_of_next.bank != last_in_row.bank
+
+    def test_channel_interleave_at_line_granularity(self):
+        mapper = AddressMapper(timing=DDR3_1066, channels=2)
+        assert mapper.decode(0).channel == 0
+        assert mapper.decode(CACHE_LINE_BYTES).channel == 1
+        assert mapper.decode(2 * CACHE_LINE_BYTES).channel == 0
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(timing=DDR3_1066, channels=0)
+        mapper = AddressMapper(timing=DDR3_1066, channels=1)
+        with pytest.raises(ConfigurationError):
+            mapper.decode(-1)
+
+
+class TestDramSimulator:
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            DramSimulator(channels=0)
+        with pytest.raises(ConfigurationError):
+            DramSimulator(stream_region_bytes=8)
+
+    def test_rejects_invalid_run_parameters(self):
+        simulator = DramSimulator()
+        with pytest.raises(ConfigurationError):
+            simulator.run(streams=0, requests_per_stream=16)
+        with pytest.raises(ConfigurationError):
+            simulator.run(streams=1, requests_per_stream=0)
+
+    def test_single_stream_latency_is_near_row_hit_time(self):
+        stats = DramSimulator().run(streams=1, requests_per_stream=512)
+        # A lone sequential stream is almost all row hits.
+        assert stats.row_hit_rate > 0.95
+        assert stats.mean_latency < 2 * DDR3_1066.row_conflict_latency
+
+    def test_latency_grows_with_concurrency(self):
+        curve = measure_latency_curve([1, 2, 4, 8], requests_per_stream=256)
+        latencies = [curve[c].mean_latency for c in (1, 2, 4, 8)]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_latency_growth_is_roughly_linear(self):
+        """The paper's core assumption: queueing delay ~ concurrency.
+
+        Fit L(c) = a + b*c over c in 1..8 and require the residuals to
+        be small relative to the latency spread.
+        """
+        concurrencies = [1, 2, 3, 4, 5, 6, 7, 8]
+        curve = measure_latency_curve(concurrencies, requests_per_stream=512)
+        xs = concurrencies
+        ys = [curve[c].mean_latency for c in xs]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+            (x - mean_x) ** 2 for x in xs
+        )
+        intercept = mean_y - slope * mean_x
+        residual = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+        total = sum((y - mean_y) ** 2 for y in ys)
+        r_squared = 1 - residual / total
+        assert slope > 0
+        assert r_squared > 0.95
+
+    def test_second_channel_relieves_contention(self):
+        single = DramSimulator(channels=1).run(streams=4, requests_per_stream=256)
+        dual = DramSimulator(channels=2).run(streams=4, requests_per_stream=256)
+        assert dual.mean_latency < single.mean_latency
+
+    def test_bandwidth_bounded_by_pin_bandwidth(self):
+        stats = DramSimulator().run(streams=8, requests_per_stream=256)
+        # One 64 B burst per t_burst cycles is the channel's ceiling.
+        peak = CACHE_LINE_BYTES / DDR3_1066.cycles(DDR3_1066.t_burst)
+        assert 0 < stats.bandwidth_bytes_per_second <= peak * 1.001
+
+    def test_all_requests_complete(self):
+        stats = DramSimulator().run(streams=3, requests_per_stream=100)
+        assert stats.requests == 300
+        assert stats.total_time > 0
+        assert stats.max_latency >= stats.mean_latency

@@ -1,0 +1,70 @@
+"""Tests for the empirical (DRAM-sampled) contention model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.contention import ContentionModel
+from repro.memory.empirical import EmpiricalContentionModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    # Module-scoped: building the table runs the detailed DRAM
+    # simulator once per concurrency and channel configuration.
+    return EmpiricalContentionModel(
+        max_concurrency=6, requests_per_stream=256, channels_measured=(1, 2)
+    )
+
+
+class TestConstruction:
+    def test_satisfies_contention_protocol(self, model):
+        assert isinstance(model, ContentionModel)
+
+    def test_tables_are_monotone(self, model):
+        for channels in model.measured_channels():
+            table = model.table(channels)
+            assert list(table) == sorted(table)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalContentionModel(max_concurrency=1)
+        with pytest.raises(ConfigurationError):
+            EmpiricalContentionModel(channels_measured=())
+
+
+class TestQueries:
+    def test_integer_queries_hit_the_table(self, model):
+        table = model.table(1)
+        for c in range(1, 7):
+            assert model.request_latency(float(c)) == pytest.approx(table[c - 1])
+
+    def test_fractional_queries_interpolate(self, model):
+        low = model.request_latency(2.0)
+        high = model.request_latency(3.0)
+        mid = model.request_latency(2.5)
+        assert min(low, high) <= mid <= max(low, high)
+
+    def test_below_one_clamps(self, model):
+        assert model.request_latency(0.2) == model.request_latency(1.0)
+
+    def test_beyond_table_extrapolates_upward(self, model):
+        edge = model.request_latency(6.0)
+        beyond = model.request_latency(9.0)
+        assert beyond >= edge
+
+    def test_monotone_in_concurrency(self, model):
+        samples = [model.request_latency(c / 2) for c in range(2, 16)]
+        assert samples == sorted(samples)
+
+    def test_second_channel_is_faster_at_load(self, model):
+        assert model.request_latency(6, channels=2) < model.request_latency(
+            6, channels=1
+        )
+
+    def test_unmeasured_channel_count_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.request_latency(2, channels=4)
+
+    def test_negative_concurrency_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.request_latency(-1.0)

@@ -1,0 +1,120 @@
+"""Tests for the effective-concurrency fixed-point solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.memory.contention import LinearContentionModel
+from repro.memory.equilibrium import MemoryDemand, effective_concurrency
+from repro.units import NANOSECONDS
+
+
+def pure_memory() -> MemoryDemand:
+    return MemoryDemand(cpu_seconds_per_unit=0.0, requests_per_unit=1.0)
+
+
+def pure_compute() -> MemoryDemand:
+    return MemoryDemand(cpu_seconds_per_unit=1e-9, requests_per_unit=0.0)
+
+
+def linear_latency(c: float) -> float:
+    return LinearContentionModel(46.3 * NANOSECONDS, 18 * NANOSECONDS).request_latency(c)
+
+
+class TestMemoryDemand:
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ModelError):
+            MemoryDemand(cpu_seconds_per_unit=-1.0, requests_per_unit=0.0)
+        with pytest.raises(ModelError):
+            MemoryDemand(cpu_seconds_per_unit=0.0, requests_per_unit=-1.0)
+
+    def test_pure_memory_weight_is_one(self):
+        assert pure_memory().memory_weight(64e-9) == 1.0
+
+    def test_pure_compute_weight_is_zero(self):
+        assert pure_compute().memory_weight(64e-9) == 0.0
+
+    def test_degenerate_zero_demand_weight_is_zero(self):
+        demand = MemoryDemand(cpu_seconds_per_unit=0.0, requests_per_unit=0.0)
+        assert demand.memory_weight(64e-9) == 0.0
+
+    def test_mixed_weight_is_waiting_fraction(self):
+        demand = MemoryDemand(cpu_seconds_per_unit=64e-9, requests_per_unit=1.0)
+        assert demand.memory_weight(64e-9) == pytest.approx(0.5)
+
+
+class TestEffectiveConcurrency:
+    def test_no_tasks_gives_zero(self):
+        assert effective_concurrency([], linear_latency) == 0.0
+
+    def test_compute_only_population_gives_zero(self):
+        demands = [pure_compute() for _ in range(8)]
+        assert effective_concurrency(demands, linear_latency) == 0.0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 8])
+    def test_pure_memory_population_recovers_paper_model(self, k):
+        # k pure memory tasks must yield exactly concurrency k, which
+        # makes T_mk = requests * L(k) — the paper's assumption.
+        demands = [pure_memory() for _ in range(k)]
+        assert effective_concurrency(demands, linear_latency) == pytest.approx(k)
+
+    def test_compute_tasks_do_not_perturb_memory_tasks(self):
+        demands = [pure_memory(), pure_memory(), pure_compute(), pure_compute()]
+        assert effective_concurrency(demands, linear_latency) == pytest.approx(2.0)
+
+    def test_partial_miss_tasks_contribute_fractionally(self):
+        # One pure memory task plus one compute task that waits on
+        # memory about half the time: concurrency strictly in (1, 2).
+        latency_at_2 = linear_latency(2.0)
+        mixed = MemoryDemand(
+            cpu_seconds_per_unit=latency_at_2, requests_per_unit=1.0
+        )
+        c = effective_concurrency([pure_memory(), mixed], linear_latency)
+        assert 1.0 < c < 2.0
+
+    def test_fixed_point_is_self_consistent(self):
+        demands = [
+            pure_memory(),
+            MemoryDemand(cpu_seconds_per_unit=30e-9, requests_per_unit=0.5),
+            MemoryDemand(cpu_seconds_per_unit=100e-9, requests_per_unit=0.1),
+        ]
+        c = effective_concurrency(demands, linear_latency)
+        latency = linear_latency(c)
+        reconstructed = sum(d.memory_weight(latency) for d in demands)
+        assert reconstructed == pytest.approx(c, abs=1e-6)
+
+    def test_raises_on_non_positive_latency(self):
+        with pytest.raises(ModelError):
+            effective_concurrency([pure_memory()], lambda c: 0.0)
+
+    @settings(max_examples=60)
+    @given(
+        cpu=st.lists(
+            st.floats(min_value=0.0, max_value=1e-6), min_size=1, max_size=12
+        ),
+        requests=st.lists(
+            st.floats(min_value=0.0, max_value=4.0), min_size=1, max_size=12
+        ),
+    )
+    def test_property_result_bounded_by_population(self, cpu, requests):
+        demands = [
+            MemoryDemand(cpu_seconds_per_unit=a, requests_per_unit=m)
+            for a, m in zip(cpu, requests)
+        ]
+        c = effective_concurrency(demands, linear_latency)
+        memory_tasks = sum(1 for d in demands if d.requests_per_unit > 0)
+        assert 0.0 <= c <= memory_tasks + 1e-9
+
+    @settings(max_examples=60)
+    @given(
+        extra=st.integers(min_value=0, max_value=6),
+        base=st.integers(min_value=1, max_value=6),
+    )
+    def test_property_adding_memory_tasks_never_reduces_concurrency(
+        self, extra, base
+    ):
+        small = [pure_memory() for _ in range(base)]
+        large = small + [pure_memory() for _ in range(extra)]
+        c_small = effective_concurrency(small, linear_latency)
+        c_large = effective_concurrency(large, linear_latency)
+        assert c_large >= c_small - 1e-9

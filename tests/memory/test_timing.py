@@ -1,0 +1,67 @@
+"""Unit tests for DRAM timing presets and validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.timing import DDR3_1066, DDR3_1333, DramTiming
+from repro.units import NANOSECONDS
+
+
+class TestDramTimingValidation:
+    def test_rejects_non_positive_clock(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(clock_period=0.0, t_cl=7, t_rcd=7, t_rp=7, t_ras=20, t_burst=4)
+
+    @pytest.mark.parametrize("field", ["t_cl", "t_rcd", "t_rp", "t_ras", "t_burst"])
+    def test_rejects_non_positive_cycle_counts(self, field):
+        kwargs = dict(
+            clock_period=1e-9, t_cl=7, t_rcd=7, t_rp=7, t_ras=20, t_burst=4
+        )
+        kwargs[field] = 0
+        with pytest.raises(ConfigurationError):
+            DramTiming(**kwargs)
+
+    def test_rejects_non_positive_bank_counts(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(
+                clock_period=1e-9,
+                t_cl=7,
+                t_rcd=7,
+                t_rp=7,
+                t_ras=20,
+                t_burst=4,
+                banks_per_rank=0,
+            )
+
+    def test_rejects_non_positive_row_bytes(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(
+                clock_period=1e-9,
+                t_cl=7,
+                t_rcd=7,
+                t_rp=7,
+                t_ras=20,
+                t_burst=4,
+                row_bytes=0,
+            )
+
+
+class TestDerivedLatencies:
+    def test_latency_ordering_hit_below_miss_below_conflict(self):
+        for timing in (DDR3_1066, DDR3_1333):
+            assert timing.row_hit_latency < timing.row_miss_latency
+            assert timing.row_miss_latency < timing.row_conflict_latency
+
+    def test_cycles_converts_through_clock_period(self):
+        assert DDR3_1066.cycles(4) == pytest.approx(4 * 1.875 * NANOSECONDS)
+
+    def test_ddr3_1066_row_hit_latency_matches_datasheet(self):
+        # CL7 + 4-cycle burst at 1.875 ns/cycle.
+        assert DDR3_1066.row_hit_latency == pytest.approx(11 * 1.875 * NANOSECONDS)
+
+    def test_banks_per_channel_folds_ranks(self):
+        assert DDR3_1066.banks_per_channel == 16
+
+    def test_presets_are_frozen(self):
+        with pytest.raises(AttributeError):
+            DDR3_1066.t_cl = 9  # type: ignore[misc]

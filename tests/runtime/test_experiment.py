@@ -1,0 +1,80 @@
+"""Tests for the policy-comparison harness."""
+
+import pytest
+
+from repro.core.throttle import DynamicThrottlingPolicy
+from repro.errors import MeasurementError
+from repro.runtime.experiment import (
+    compare_policies,
+    offline_best_static_factory,
+    paper_policy_suite,
+)
+from repro.sim.machine import i7_860
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.stream.program import StreamProgram, build_phase
+from repro.workloads.base import REFERENCE_SOLO_LATENCY
+
+
+def synthetic(ratio: float, pairs: int = 80) -> StreamProgram:
+    t_m1 = 8192 * REFERENCE_SOLO_LATENCY
+    return StreamProgram(
+        f"synthetic-{ratio}", [build_phase("p", 0, pairs, 8192, t_m1 / ratio)]
+    )
+
+
+class TestComparePolicies:
+    def test_speedups_are_relative_to_conventional(self):
+        result = compare_policies(
+            synthetic(0.25),
+            {"static-1": lambda: FixedMtlPolicy(1)},
+        )
+        outcome = result.outcome("static-1")
+        assert outcome.speedup == pytest.approx(
+            result.baseline_makespan / outcome.makespan
+        )
+        assert outcome.speedup > 1.0
+
+    def test_reports_selected_mtl(self):
+        result = compare_policies(
+            synthetic(0.25),
+            {"dynamic": lambda: DynamicThrottlingPolicy(context_count=4)},
+        )
+        assert result.outcome("dynamic").selected_mtl == 1
+
+    def test_unknown_policy_lookup_raises(self):
+        result = compare_policies(
+            synthetic(0.25), {"static-1": lambda: FixedMtlPolicy(1)}
+        )
+        with pytest.raises(MeasurementError):
+            result.outcome("ghost")
+
+    def test_repeated_runs_protocol(self):
+        result = compare_policies(
+            synthetic(0.25, pairs=24),
+            {"static-1": lambda: FixedMtlPolicy(1)},
+            repeated_runs=4,
+        )
+        assert result.outcome("static-1").speedup > 1.0
+
+    def test_machine_name_recorded(self):
+        machine = i7_860(channels=2)
+        result = compare_policies(
+            synthetic(0.25, pairs=24),
+            {"static-1": lambda: FixedMtlPolicy(1)},
+            machine=machine,
+        )
+        assert result.machine_name == "i7-860/2ch"
+
+
+class TestPolicySuites:
+    def test_paper_suite_has_both_dynamic_policies(self):
+        suite = paper_policy_suite()
+        assert set(suite) == {"Dynamic Throttling", "Online Exhaustive Search"}
+        # Factories produce fresh instances.
+        assert suite["Dynamic Throttling"]() is not suite["Dynamic Throttling"]()
+
+    def test_offline_factory_finds_best_static(self):
+        factory = offline_best_static_factory(synthetic(0.25, pairs=40))
+        policy = factory()
+        assert policy.current_mtl() == 1
+        assert policy.name == "offline-exhaustive"

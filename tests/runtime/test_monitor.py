@@ -1,0 +1,65 @@
+"""Tests for pair-sample extraction and ratio measurement."""
+
+import pytest
+
+from repro.runtime.monitor import measure_phase_ratios, measure_ratio, pair_samples
+from repro.sim.machine import i7_860
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import simulate
+from repro.stream.program import StreamProgram, build_phase
+from repro.workloads.base import REFERENCE_SOLO_LATENCY
+
+
+def program(pairs=8, requests=4096, t_c=1e-3, phases=1):
+    return StreamProgram(
+        "monitored",
+        [
+            build_phase(f"p{i}", i, pairs, requests, t_c)
+            for i in range(phases)
+        ],
+    )
+
+
+class TestPairSamples:
+    def test_one_sample_per_pair(self):
+        result = simulate(program(pairs=6), FixedMtlPolicy(2))
+        samples = pair_samples(result)
+        assert len(samples) == 6
+
+    def test_phase_filter(self):
+        result = simulate(program(pairs=4, phases=3), FixedMtlPolicy(2))
+        assert len(pair_samples(result, phase_index=1)) == 4
+        assert len(pair_samples(result)) == 12
+
+    def test_sample_times_are_task_durations(self):
+        result = simulate(program(pairs=4, t_c=2e-3), FixedMtlPolicy(1))
+        for sample in pair_samples(result):
+            assert sample.t_c == pytest.approx(2e-3, rel=1e-6)
+            assert sample.t_m > 0
+
+
+class TestMeasureRatio:
+    def test_matches_construction(self):
+        t_m1 = 4096 * REFERENCE_SOLO_LATENCY
+        target_ratio = 0.5
+        prog = program(requests=4096, t_c=t_m1 / target_ratio)
+        assert measure_ratio(prog) == pytest.approx(target_ratio, rel=1e-6)
+
+    def test_machine_changes_the_ratio(self):
+        prog = program(requests=4096, t_c=1e-3)
+        single = measure_ratio(prog, machine=i7_860(channels=1))
+        dual = measure_ratio(prog, machine=i7_860(channels=2))
+        # Two channels shorten T_m1, so the ratio drops.
+        assert dual < single
+
+    def test_phase_ratios_keyed_by_name(self):
+        prog = StreamProgram(
+            "two",
+            [
+                build_phase("hot", 0, 4, 8192, 1e-3),
+                build_phase("cold", 1, 4, 1024, 1e-3),
+            ],
+        )
+        ratios = measure_phase_ratios(prog)
+        assert set(ratios) == {"hot", "cold"}
+        assert ratios["hot"] > ratios["cold"]

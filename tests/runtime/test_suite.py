@@ -1,0 +1,71 @@
+"""Tests for the batch experiment suite runner."""
+
+import pytest
+
+from repro.core import DynamicThrottlingPolicy
+from repro.errors import ConfigurationError, MeasurementError
+from repro.runtime.suite import run_suite
+from repro.sim.machine import i7_860
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.workloads import synthetic_from_ratio
+
+
+def small_suite():
+    return run_suite(
+        workloads={
+            "compute-bound": lambda: synthetic_from_ratio(0.2, pairs=24),
+            "memory-bound": lambda: synthetic_from_ratio(1.5, pairs=24),
+        },
+        machines=[i7_860(channels=1), i7_860(channels=2)],
+        policies={
+            "static-1": lambda machine: FixedMtlPolicy(1),
+            "dynamic": lambda machine: DynamicThrottlingPolicy(
+                context_count=machine.context_count
+            ),
+        },
+    )
+
+
+class TestRunSuite:
+    def test_full_grid(self):
+        suite = small_suite()
+        assert len(suite.rows) == 2 * 2 * 2
+
+    def test_cell_lookup(self):
+        suite = small_suite()
+        cell = suite.cell("compute-bound", "i7-860/1ch", "static-1")
+        assert cell.speedup > 1.0
+        assert cell.selected_mtl == 1
+
+    def test_filter(self):
+        suite = small_suite()
+        assert len(suite.filter(policy="dynamic")) == 4
+        assert len(suite.filter(machine="i7-860/2ch", policy="dynamic")) == 2
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(MeasurementError):
+            small_suite().cell("ghost", "i7-860/1ch", "static-1")
+
+    def test_speedups_are_per_cell_baselines(self):
+        suite = small_suite()
+        # Over-throttling the memory-bound workload must lose.
+        losing = suite.cell("memory-bound", "i7-860/1ch", "static-1")
+        assert losing.speedup < 1.0
+        winning = suite.cell("compute-bound", "i7-860/1ch", "static-1")
+        assert winning.speedup > 1.0
+
+    def test_csv_export(self):
+        csv = small_suite().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("workload,machine,policy")
+        assert len(lines) == 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_suite({}, [i7_860()], {"p": lambda m: FixedMtlPolicy(1)})
+        with pytest.raises(ConfigurationError):
+            run_suite(
+                {"w": lambda: synthetic_from_ratio(0.2, pairs=4)},
+                [i7_860(), i7_860()],  # duplicate names
+                {"p": lambda m: FixedMtlPolicy(1)},
+            )

@@ -1,0 +1,100 @@
+"""Tests for the processor-sharing rate calculator."""
+
+import pytest
+
+from repro.memory.contention import nehalem_ddr3_contention
+from repro.memory.system import MemorySystem
+from repro.sim.cores import Processor
+from repro.sim.engine import RateCalculator, RunningTask
+from repro.stream.task import compute_task, memory_task
+
+
+def make_calculator(smt: int = 1) -> RateCalculator:
+    return RateCalculator(
+        Processor(core_count=4, smt_ways=smt),
+        MemorySystem(contention=nehalem_ddr3_contention()),
+    )
+
+
+def run_memory(context_id: int, core_id: int, requests: float = 1000):
+    task = memory_task(f"m{context_id}", requests=requests)
+    return RunningTask(
+        task=task, context_id=context_id, core_id=core_id, start=0.0,
+        remaining_units=task.work_units, overhead_remaining=0.0,
+        mtl_at_dispatch=4,
+    )
+
+
+def run_compute(context_id: int, core_id: int, cpu_seconds: float = 1e-3):
+    task = compute_task(f"c{context_id}", cpu_seconds=cpu_seconds)
+    return RunningTask(
+        task=task, context_id=context_id, core_id=core_id, start=0.0,
+        remaining_units=task.work_units, overhead_remaining=0.0,
+        mtl_at_dispatch=4,
+    )
+
+
+class TestMemoryRates:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_k_pure_memory_tasks_see_latency_of_k(self, k):
+        calc = make_calculator()
+        population = [run_memory(i, i) for i in range(k)]
+        snap = calc.snapshot(population)
+        expected = nehalem_ddr3_contention().request_latency(k)
+        assert snap.request_latency == pytest.approx(expected)
+        assert snap.memory_concurrency == pytest.approx(k)
+
+    def test_memory_task_speed_is_one_request_per_latency(self):
+        calc = make_calculator()
+        snap = calc.snapshot([run_memory(0, 0)])
+        latency = nehalem_ddr3_contention().request_latency(1)
+        assert snap.speeds[0] == pytest.approx(1.0 / latency)
+
+    def test_compute_tasks_do_not_raise_memory_latency(self):
+        calc = make_calculator()
+        snap = calc.snapshot(
+            [run_memory(0, 0), run_compute(1, 1), run_compute(2, 2)]
+        )
+        assert snap.memory_concurrency == pytest.approx(1.0)
+
+
+class TestComputeRates:
+    def test_compute_duration_invariant_to_memory_neighbours(self):
+        calc = make_calculator()
+        alone = calc.snapshot([run_compute(0, 0)])
+        crowded = calc.snapshot(
+            [run_compute(0, 0)] + [run_memory(i, i) for i in range(1, 4)]
+        )
+        assert alone.speeds[0] == pytest.approx(crowded.speeds[0])
+
+    def test_smt_sharing_slows_co_scheduled_compute(self):
+        calc = make_calculator(smt=2)
+        # Contexts 0 and 1 share core 0.
+        both = calc.snapshot([run_compute(0, 0), run_compute(1, 0)])
+        alone = calc.snapshot([run_compute(0, 0)])
+        assert both.speeds[0] < alone.speeds[0]
+        assert both.speeds[0] == pytest.approx(alone.speeds[0] * 0.625)
+
+    def test_memory_sibling_does_not_slow_compute(self):
+        calc = make_calculator(smt=2)
+        snap = calc.snapshot([run_compute(0, 0), run_memory(1, 0)])
+        assert snap.cpu_rates[0] == 1.0
+
+
+class TestOverheadPhase:
+    def test_overhead_phase_has_zero_speed_and_full_cpu_demand(self):
+        calc = make_calculator()
+        rt = run_memory(0, 0)
+        rt.overhead_remaining = 1e-6
+        snap = calc.snapshot([rt])
+        assert snap.speeds[0] == 0.0
+        # During overhead the memory system sees no demand from it.
+        assert snap.memory_concurrency == 0.0
+
+    def test_overhead_phase_contends_for_the_core(self):
+        calc = make_calculator(smt=2)
+        busy = run_compute(0, 0)
+        dispatching = run_memory(1, 0)
+        dispatching.overhead_remaining = 1e-6
+        snap = calc.snapshot([busy, dispatching])
+        assert snap.cpu_rates[0] == pytest.approx(0.625)

@@ -1,0 +1,53 @@
+"""Tests for the ASCII gantt renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.gantt import render_gantt
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import simulate
+from repro.stream.program import StreamProgram, build_phase
+
+
+def small_run(mtl=2):
+    program = StreamProgram(
+        "gantt-demo", [build_phase("p", 0, 8, 4096, 3e-4)]
+    )
+    return simulate(program, FixedMtlPolicy(mtl))
+
+
+class TestRenderGantt:
+    def test_has_one_row_per_context_plus_header_and_legend(self):
+        output = render_gantt(small_run())
+        lines = output.splitlines()
+        assert len(lines) == 1 + 4 + 1
+        assert lines[1].startswith("P0 |")
+        assert lines[4].startswith("P3 |")
+
+    def test_rows_have_requested_width(self):
+        output = render_gantt(small_run(), width=60)
+        for line in output.splitlines()[1:5]:
+            body = line.split("|")[1]
+            assert len(body) == 60
+
+    def test_contains_both_task_kinds(self):
+        output = render_gantt(small_run())
+        assert "M" in output
+        assert "C" in output
+
+    def test_throttled_schedule_shows_idle_gaps(self):
+        # Heavily memory-bound at MTL=1: three cores idle most of the time.
+        program = StreamProgram("idle", [build_phase("p", 0, 8, 8192, 1e-5)])
+        output = render_gantt(simulate(program, FixedMtlPolicy(1)), width=60)
+        body_rows = [l.split("|")[1] for l in output.splitlines()[1:5]]
+        idle_cells = sum(row.count(" ") for row in body_rows)
+        assert idle_cells > 60  # plenty of blank (idle) space
+
+    def test_header_mentions_names(self):
+        output = render_gantt(small_run())
+        assert "gantt-demo" in output
+        assert "static-mtl-2" in output
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ConfigurationError):
+            render_gantt(small_run(), width=5)

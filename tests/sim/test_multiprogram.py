@@ -1,0 +1,118 @@
+"""Tests for multiprogram co-scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.machine import i7_860
+from repro.sim.multiprogram import co_schedule, merge_programs
+from repro.sim.scheduler import FixedMtlPolicy, conventional_policy
+from repro.sim.simulator import simulate
+from repro.stream.program import StreamProgram, build_phase
+from repro.workloads.base import REFERENCE_SOLO_LATENCY
+
+
+def program(name: str, ratio: float, pairs: int = 24, phases: int = 2):
+    t_m1 = 8192 * REFERENCE_SOLO_LATENCY
+    return StreamProgram(
+        name,
+        [
+            build_phase(f"p{i}", i, pairs, 8192, t_m1 / ratio)
+            for i in range(phases)
+        ],
+    )
+
+
+class TestMergePrograms:
+    def test_namespaced_ids_and_phase_ranges(self):
+        a = program("alpha", 0.2)
+        b = program("beta", 0.5)
+        graph, ranges = merge_programs([a, b])
+        assert len(graph) == len(a.to_task_graph()) + len(b.to_task_graph())
+        assert "alpha::M[0.0]" in graph
+        assert "beta::M[0.0]" in graph
+        assert ranges == {"alpha": (0, 2), "beta": (2, 4)}
+
+    def test_phase_indices_are_disjoint(self):
+        graph, _ = merge_programs([program("a", 0.2), program("b", 0.5)])
+        a_phases = {t.phase_index for t in graph if t.task_id.startswith("a::")}
+        b_phases = {t.phase_index for t in graph if t.task_id.startswith("b::")}
+        assert a_phases.isdisjoint(b_phases)
+
+    def test_no_cross_program_dependencies(self):
+        graph, _ = merge_programs([program("a", 0.2), program("b", 0.5)])
+        for task in graph:
+            prefix = task.task_id.split("::")[0]
+            for dep in task.depends_on:
+                assert dep.startswith(prefix + "::")
+
+    def test_rejects_empty_and_duplicate_mixes(self):
+        with pytest.raises(ConfigurationError):
+            merge_programs([])
+        with pytest.raises(ConfigurationError):
+            merge_programs([program("same", 0.2), program("same", 0.5)])
+
+
+class TestCoSchedule:
+    def test_programs_overlap_in_time(self):
+        # Without cross-program barriers, both programs start at t=0.
+        result = co_schedule(
+            [program("a", 0.2), program("b", 0.5)],
+            conventional_policy(4),
+        )
+        a_start = min(r.start for r in result.program_records("a"))
+        b_start = min(r.start for r in result.program_records("b"))
+        assert a_start == pytest.approx(0.0)
+        assert b_start < result.program_finish_time("a")
+
+    def test_per_program_finish_times(self):
+        result = co_schedule(
+            [program("short", 0.2, pairs=8, phases=1),
+             program("long", 0.2, pairs=48, phases=2)],
+            conventional_policy(4),
+        )
+        assert result.program_finish_time("short") < result.program_finish_time(
+            "long"
+        )
+        assert result.program_finish_time("long") == pytest.approx(
+            result.combined.makespan
+        )
+
+    def test_unknown_program_rejected(self):
+        result = co_schedule([program("a", 0.2)], conventional_policy(4))
+        with pytest.raises(ConfigurationError):
+            result.program_finish_time("ghost")
+
+    def test_slowdown_vs_solo(self):
+        a = program("a", 0.5)
+        b = program("b", 0.5)
+        solo = simulate(a, conventional_policy(4)).makespan
+        result = co_schedule([a, b], conventional_policy(4))
+        slowdown = result.slowdown("a", solo)
+        assert slowdown > 1.0  # sharing the machine costs something
+
+    def test_slowdown_validates_solo_time(self):
+        result = co_schedule([program("a", 0.2)], conventional_policy(4))
+        with pytest.raises(ConfigurationError):
+            result.slowdown("a", 0.0)
+
+    def test_global_mtl_gate_spans_programs(self):
+        # Two memory-hungry programs under a global MTL=1: never more
+        # than one memory task in flight across the whole mix.
+        result = co_schedule(
+            [program("a", 2.0, pairs=8, phases=1),
+             program("b", 2.0, pairs=8, phases=1)],
+            FixedMtlPolicy(1),
+            machine=i7_860(),
+        )
+        memory = [r for r in result.combined.records if r.is_memory]
+        boundaries = sorted({r.start for r in memory} | {r.end for r in memory})
+        for begin, end in zip(boundaries, boundaries[1:]):
+            midpoint = (begin + end) / 2
+            live = sum(1 for r in memory if r.start <= midpoint < r.end)
+            assert live <= 1
+
+    def test_combined_result_is_consistent(self):
+        result = co_schedule(
+            [program("a", 0.3), program("b", 0.7)], FixedMtlPolicy(2)
+        )
+        result.combined.verify_consistency()

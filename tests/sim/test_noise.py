@@ -1,0 +1,61 @@
+"""Tests for the noise models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.noise import GaussianNoise, NoiseModel, ZeroNoise
+
+
+class TestZeroNoise:
+    def test_identity_factor_and_zero_overhead(self):
+        noise = ZeroNoise()
+        assert noise.duration_factor() == 1.0
+        assert noise.dispatch_overhead() == 0.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ZeroNoise(), NoiseModel)
+        assert isinstance(GaussianNoise(), NoiseModel)
+
+
+class TestGaussianNoise:
+    def test_deterministic_given_seed(self):
+        a = GaussianNoise(seed=7)
+        b = GaussianNoise(seed=7)
+        assert [a.duration_factor() for _ in range(20)] == [
+            b.duration_factor() for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = GaussianNoise(seed=1)
+        b = GaussianNoise(seed=2)
+        assert [a.duration_factor() for _ in range(10)] != [
+            b.duration_factor() for _ in range(10)
+        ]
+
+    def test_factors_positive_and_near_one(self):
+        noise = GaussianNoise(seed=0, sigma=0.02, spike_probability=0.0)
+        factors = [noise.duration_factor() for _ in range(500)]
+        assert all(f > 0 for f in factors)
+        mean = sum(factors) / len(factors)
+        assert mean == pytest.approx(1.0, abs=0.01)
+
+    def test_spikes_inflate(self):
+        calm = GaussianNoise(seed=0, sigma=0.0, spike_probability=0.0)
+        spiky = GaussianNoise(seed=0, sigma=0.0, spike_probability=1.0,
+                              spike_magnitude=0.25)
+        assert calm.duration_factor() == pytest.approx(1.0)
+        assert spiky.duration_factor() == pytest.approx(1.25)
+
+    def test_overhead_non_negative(self):
+        noise = GaussianNoise(seed=3)
+        assert all(noise.dispatch_overhead() >= 0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(spike_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(spike_magnitude=-1.0)
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(overhead_seconds=-1.0)

@@ -1,0 +1,56 @@
+"""Tests for the POWER7-class machine preset (the paper's future work)."""
+
+import pytest
+
+from repro.sim.machine import i7_860
+from repro.sim.power7 import power7
+from repro.sim.scheduler import FixedMtlPolicy, conventional_policy
+from repro.sim.simulator import Simulator
+from repro.stream.program import StreamProgram, build_phase
+
+
+def synthetic(pairs=64, requests=8192, t_c=4e-4):
+    return StreamProgram("p7", [build_phase("p", 0, pairs, requests, t_c)])
+
+
+class TestPreset:
+    def test_smt4_exposes_32_contexts(self):
+        machine = power7()
+        assert machine.core_count == 8
+        assert machine.context_count == 32
+        assert machine.name == "power7/8ch/smt4"
+
+    def test_smt_off_variant(self):
+        machine = power7(smt=1, channels=4)
+        assert machine.context_count == 8
+        assert machine.name == "power7/4ch/smt1"
+
+    def test_eight_channels_dilute_contention(self):
+        p7 = power7()
+        i7 = i7_860()
+        assert p7.memory.request_latency(8) < i7.memory.request_latency(8)
+
+    def test_larger_llc_share(self):
+        assert power7().memory.cache.per_core_share_bytes > (
+            i7_860().memory.cache.per_core_share_bytes
+        )
+
+
+class TestExecution:
+    def test_conventional_run_uses_all_contexts(self):
+        machine = power7()
+        result = Simulator(machine).run(
+            synthetic(pairs=128), conventional_policy(32)
+        )
+        assert {r.context_id for r in result.records} == set(range(32))
+        result.verify_consistency()
+
+    def test_throttling_still_constrains_memory(self):
+        machine = power7()
+        result = Simulator(machine).run(synthetic(pairs=64), FixedMtlPolicy(4))
+        memory = [r for r in result.records if r.is_memory]
+        boundaries = sorted({r.start for r in memory} | {r.end for r in memory})
+        for begin, end in zip(boundaries, boundaries[1:]):
+            midpoint = (begin + end) / 2
+            concurrent = sum(1 for r in memory if r.start <= midpoint < r.end)
+            assert concurrent <= 4

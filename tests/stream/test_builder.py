@@ -1,0 +1,82 @@
+"""Unit tests for loop decomposition."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.memory.cache import LastLevelCache
+from repro.stream.builder import decompose_loop
+from repro.units import CACHE_LINE_BYTES, mebibytes
+
+
+def i7_llc() -> LastLevelCache:
+    return LastLevelCache(capacity_bytes=mebibytes(8), sharers=4)
+
+
+class TestDecomposeLoop:
+    def test_equal_tiles(self):
+        phase = decompose_loop(
+            "loop", total_bytes=mebibytes(8), tile_bytes=mebibytes(1),
+            compute_seconds_per_byte=1e-9,
+        )
+        assert phase.pair_count == 8
+        lines = mebibytes(1) // CACHE_LINE_BYTES
+        assert phase.mean_memory_requests() == pytest.approx(lines)
+
+    def test_ragged_final_tile_rounds_up_pair_count(self):
+        phase = decompose_loop(
+            "loop", total_bytes=mebibytes(8) + 1, tile_bytes=mebibytes(1),
+            compute_seconds_per_byte=1e-9,
+        )
+        assert phase.pair_count == 9
+
+    def test_tile_larger_than_loop_shrinks_to_loop(self):
+        phase = decompose_loop(
+            "loop", total_bytes=mebibytes(1), tile_bytes=mebibytes(4),
+            compute_seconds_per_byte=1e-9, cache=i7_llc(),
+        )
+        assert phase.pair_count == 1
+        assert phase.pairs[0].memory.footprint_bytes == mebibytes(1)
+
+    def test_compute_time_scales_with_tile(self):
+        phase = decompose_loop(
+            "loop", total_bytes=mebibytes(4), tile_bytes=mebibytes(0.5),
+            compute_seconds_per_byte=2e-9,
+        )
+        assert phase.mean_compute_seconds() == pytest.approx(2e-9 * mebibytes(0.5))
+
+    def test_cache_contract_enforced_by_default(self):
+        with pytest.raises(WorkloadError):
+            decompose_loop(
+                "loop", total_bytes=mebibytes(16), tile_bytes=mebibytes(2),
+                compute_seconds_per_byte=1e-9, cache=i7_llc(),
+            )
+
+    def test_spill_mode_attaches_misses_to_compute_tasks(self):
+        phase = decompose_loop(
+            "loop", total_bytes=mebibytes(16), tile_bytes=mebibytes(2),
+            compute_seconds_per_byte=1e-9, cache=i7_llc(), allow_spill=True,
+        )
+        spill = phase.pairs[0].compute.memory_requests
+        expected = 0.125 * (mebibytes(2) // CACHE_LINE_BYTES)
+        assert spill == pytest.approx(expected)
+
+    def test_fitting_tile_never_spills(self):
+        phase = decompose_loop(
+            "loop", total_bytes=mebibytes(16), tile_bytes=mebibytes(1),
+            compute_seconds_per_byte=1e-9, cache=i7_llc(), allow_spill=True,
+        )
+        assert all(p.compute.memory_requests == 0.0 for p in phase.pairs)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(WorkloadError):
+            decompose_loop("loop", total_bytes=0, tile_bytes=1,
+                           compute_seconds_per_byte=1e-9)
+        with pytest.raises(ConfigurationError):
+            decompose_loop("loop", total_bytes=10, tile_bytes=0,
+                           compute_seconds_per_byte=1e-9)
+        with pytest.raises(ConfigurationError):
+            decompose_loop("loop", total_bytes=10, tile_bytes=1,
+                           compute_seconds_per_byte=-1.0)
+        with pytest.raises(WorkloadError):
+            decompose_loop("loop", total_bytes=10, tile_bytes=1,
+                           compute_seconds_per_byte=0.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the task dependency graph."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.stream.graph import TaskGraph
+from repro.stream.task import Task, TaskKind, compute_task, memory_task
+
+
+def chain(n: int):
+    """M[0] <- C[0] <- M[1] <- C[1] ... a strict dependency chain."""
+    tasks = []
+    previous = None
+    for i in range(n):
+        mem_deps = (previous,) if previous else ()
+        mem = memory_task(f"M{i}", requests=10, depends_on=mem_deps)
+        comp = compute_task(f"C{i}", cpu_seconds=1e-3, depends_on=(f"M{i}",))
+        tasks.extend([mem, comp])
+        previous = f"C{i}"
+    return tasks
+
+
+class TestConstruction:
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph([memory_task("m", requests=1), memory_task("m", requests=2)])
+
+    def test_rejects_unknown_dependency(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph([compute_task("c", cpu_seconds=1e-3, depends_on=("ghost",))])
+
+    def test_rejects_self_dependency(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph([compute_task("c", cpu_seconds=1e-3, depends_on=("c",))])
+
+    def test_rejects_cycle(self):
+        a = Task(task_id="a", kind=TaskKind.COMPUTE, cpu_seconds=1e-3, depends_on=("b",))
+        b = Task(task_id="b", kind=TaskKind.COMPUTE, cpu_seconds=1e-3, depends_on=("a",))
+        with pytest.raises(TaskGraphError) as exc:
+            TaskGraph([a, b])
+        assert "cycle" in str(exc.value)
+
+    def test_len_and_contains(self):
+        graph = TaskGraph(chain(3))
+        assert len(graph) == 6
+        assert "M0" in graph
+        assert "ghost" not in graph
+
+
+class TestQueries:
+    def test_task_lookup(self):
+        graph = TaskGraph(chain(2))
+        assert graph.task("M1").is_memory
+        with pytest.raises(TaskGraphError):
+            graph.task("ghost")
+
+    def test_dependents(self):
+        graph = TaskGraph(chain(2))
+        assert [t.task_id for t in graph.dependents("M0")] == ["C0"]
+        assert [t.task_id for t in graph.dependents("C0")] == ["M1"]
+        assert graph.dependents("C1") == []
+        with pytest.raises(TaskGraphError):
+            graph.dependents("ghost")
+
+    def test_ready_tasks_initially_only_roots(self):
+        graph = TaskGraph(chain(3))
+        assert [t.task_id for t in graph.ready_tasks(frozenset())] == ["M0"]
+
+    def test_ready_tasks_after_completion(self):
+        graph = TaskGraph(chain(2))
+        ready = graph.ready_tasks(frozenset({"M0"}))
+        assert [t.task_id for t in ready] == ["C0"]
+
+    def test_ready_tasks_excludes_completed(self):
+        graph = TaskGraph(chain(1))
+        assert graph.ready_tasks(frozenset({"M0", "C0"})) == []
+
+    def test_independent_pairs_all_memory_tasks_ready(self):
+        tasks = []
+        for i in range(4):
+            tasks.append(memory_task(f"M{i}", requests=10))
+            tasks.append(
+                compute_task(f"C{i}", cpu_seconds=1e-3, depends_on=(f"M{i}",))
+            )
+        graph = TaskGraph(tasks)
+        ready_ids = {t.task_id for t in graph.ready_tasks(frozenset())}
+        assert ready_ids == {"M0", "M1", "M2", "M3"}
+
+
+class TestOrdering:
+    def test_topological_order_respects_dependencies(self):
+        graph = TaskGraph(chain(4))
+        order = [t.task_id for t in graph.topological_order()]
+        position = {tid: i for i, tid in enumerate(order)}
+        for task in graph:
+            for dep in task.depends_on:
+                assert position[dep] < position[task.task_id]
+
+    def test_critical_path_of_chain_is_whole_chain(self):
+        graph = TaskGraph(chain(3))
+        assert graph.critical_path_ids() == ["M0", "C0", "M1", "C1", "M2", "C2"]
+
+    def test_critical_path_of_parallel_pairs_is_one_pair(self):
+        tasks = [
+            memory_task("M0", requests=10),
+            compute_task("C0", cpu_seconds=1e-3, depends_on=("M0",)),
+            memory_task("M1", requests=10),
+            compute_task("C1", cpu_seconds=1e-3, depends_on=("M1",)),
+        ]
+        path = TaskGraph(tasks).critical_path_ids()
+        assert len(path) == 2
+
+    def test_empty_graph(self):
+        graph = TaskGraph([])
+        assert len(graph) == 0
+        assert graph.topological_order() == []
+        assert graph.critical_path_ids() == []

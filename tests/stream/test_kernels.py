@@ -1,0 +1,121 @@
+"""Tests for the executable gather-compute-scatter kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TaskGraphError, WorkloadError
+from repro.stream.graph import TaskGraph
+from repro.stream.kernels import (
+    FunctionalExecutor,
+    figure2_original,
+    figure2_streamed,
+    figure12_original,
+    figure12_streamed,
+    gather,
+    scatter,
+)
+from repro.stream.task import compute_task, memory_task
+
+
+class TestGatherScatter:
+    def test_gather_copies(self):
+        array = np.arange(10.0)
+        stream = gather(array, 2, 5)
+        stream[:] = -1
+        assert array[2] == 2.0  # original untouched
+
+    def test_scatter_writes_back(self):
+        array = np.zeros(10)
+        scatter(np.array([7.0, 8.0]), array, 4)
+        assert array[4] == 7.0 and array[5] == 8.0
+
+    def test_bounds_are_checked(self):
+        array = np.zeros(4)
+        with pytest.raises(WorkloadError):
+            gather(array, 2, 6)
+        with pytest.raises(WorkloadError):
+            scatter(np.zeros(3), array, 2)
+
+
+class TestFigure2:
+    def test_streamed_matches_original(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=1000)
+        b = rng.normal(size=1000)
+        np.testing.assert_allclose(
+            figure2_streamed(a, b, tile_elements=128), figure2_original(a, b)
+        )
+
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        tile=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_any_tiling_preserves_semantics(self, n, tile, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        np.testing.assert_allclose(
+            figure2_streamed(a, b, tile), figure2_original(a, b)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            figure2_original(np.zeros(3), np.zeros(4))
+        with pytest.raises(WorkloadError):
+            figure2_streamed(np.zeros(3), np.zeros(4), 2)
+
+
+class TestFigure12:
+    def test_streamed_matches_original(self):
+        np.testing.assert_allclose(
+            figure12_streamed(1000, count=5, tile_elements=64),
+            figure12_original(1000, count=5),
+        )
+
+    def test_count_zero_is_pure_memory(self):
+        result = figure12_streamed(100, count=0, tile_elements=32, const=3.0)
+        np.testing.assert_allclose(result, np.full(100, 3.0))
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(WorkloadError):
+            figure12_original(0, 1)
+        with pytest.raises(WorkloadError):
+            figure12_original(10, -1)
+        with pytest.raises(WorkloadError):
+            figure12_streamed(10, 1, 0)
+
+
+class TestFunctionalExecutor:
+    def make_graph(self):
+        return TaskGraph(
+            [
+                memory_task("M0", requests=10),
+                compute_task("C0", cpu_seconds=1e-3, depends_on=("M0",)),
+                memory_task("M1", requests=10, depends_on=("C0",)),
+                compute_task("C1", cpu_seconds=1e-3, depends_on=("M1",)),
+            ]
+        )
+
+    def test_runs_in_dependency_order(self):
+        executor = FunctionalExecutor(graph=self.make_graph())
+        order = executor.run()
+        assert order.index("M0") < order.index("C0") < order.index("M1")
+
+    def test_bound_actions_execute_and_compose(self):
+        data = {"value": 0}
+        executor = FunctionalExecutor(graph=self.make_graph())
+        executor.bind("M0", lambda: data.__setitem__("value", 1))
+        executor.bind("C0", lambda: data.__setitem__("value", data["value"] * 10))
+        executor.run()
+        assert data["value"] == 10
+
+    def test_bind_unknown_task_rejected(self):
+        executor = FunctionalExecutor(graph=self.make_graph())
+        with pytest.raises(TaskGraphError):
+            executor.bind("ghost", lambda: None)
+
+    def test_unbound_tasks_are_noops(self):
+        executor = FunctionalExecutor(graph=self.make_graph())
+        assert len(executor.run()) == 4

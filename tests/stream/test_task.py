@@ -1,0 +1,115 @@
+"""Unit and property tests for the stream task model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stream.task import Task, TaskKind, TaskPair, compute_task, memory_task
+
+
+class TestTaskValidation:
+    def test_rejects_empty_id(self):
+        with pytest.raises(ConfigurationError):
+            memory_task("", requests=10)
+
+    def test_rejects_negative_cpu_seconds(self):
+        with pytest.raises(ConfigurationError):
+            Task(task_id="t", kind=TaskKind.COMPUTE, cpu_seconds=-1.0)
+
+    def test_rejects_negative_requests(self):
+        with pytest.raises(ConfigurationError):
+            Task(task_id="t", kind=TaskKind.MEMORY, memory_requests=-1.0)
+
+    def test_rejects_negative_footprint(self):
+        with pytest.raises(ConfigurationError):
+            memory_task("t", requests=1, footprint_bytes=-1)
+
+    def test_rejects_workless_task(self):
+        with pytest.raises(ConfigurationError):
+            Task(task_id="t", kind=TaskKind.COMPUTE)
+
+
+class TestTaskFactories:
+    def test_memory_task_is_pure_memory(self):
+        task = memory_task("m", requests=8192, footprint_bytes=8192 * 64)
+        assert task.is_memory and not task.is_compute
+        assert task.cpu_seconds == 0.0
+        assert task.memory_requests == 8192
+
+    def test_compute_task_defaults_to_miss_free(self):
+        task = compute_task("c", cpu_seconds=1e-3, depends_on=("m",))
+        assert task.is_compute and not task.is_memory
+        assert task.memory_requests == 0.0
+
+    def test_compute_task_can_carry_spill_traffic(self):
+        task = compute_task("c", cpu_seconds=1e-3, spilled_requests=512.0)
+        assert task.memory_requests == 512.0
+
+
+class TestDurationAndDemand:
+    def test_memory_task_duration_scales_with_latency(self):
+        task = memory_task("m", requests=1000)
+        assert task.duration_at_latency(64e-9) == pytest.approx(64e-6)
+        assert task.duration_at_latency(128e-9) == pytest.approx(128e-6)
+
+    def test_compute_task_duration_is_latency_invariant_when_miss_free(self):
+        task = compute_task("c", cpu_seconds=2e-3, depends_on=("m",))
+        assert task.duration_at_latency(64e-9) == task.duration_at_latency(640e-9)
+
+    def test_spilling_compute_task_duration_grows_with_latency(self):
+        task = compute_task("c", cpu_seconds=2e-3, spilled_requests=1000.0)
+        assert task.duration_at_latency(128e-9) > task.duration_at_latency(64e-9)
+
+    def test_duration_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            memory_task("m", requests=1).duration_at_latency(-1.0)
+
+    def test_memory_task_demand_is_pure(self):
+        demand = memory_task("m", requests=100).demand()
+        assert demand.cpu_seconds_per_unit == 0.0
+        assert demand.requests_per_unit == pytest.approx(1.0)
+
+    def test_compute_task_demand_is_pure_cpu(self):
+        demand = compute_task("c", cpu_seconds=1e-3).demand()
+        assert demand.requests_per_unit == 0.0
+        assert demand.cpu_seconds_per_unit > 0.0
+
+    @given(
+        cpu=st.floats(min_value=1e-6, max_value=1.0),
+        requests=st.floats(min_value=1.0, max_value=1e6),
+        latency=st.floats(min_value=1e-9, max_value=1e-6),
+    )
+    def test_property_demand_reconstructs_duration(self, cpu, requests, latency):
+        # work_units * per-unit cost must equal the closed-form duration.
+        task = Task(
+            task_id="t",
+            kind=TaskKind.COMPUTE,
+            cpu_seconds=cpu,
+            memory_requests=requests,
+        )
+        demand = task.demand()
+        per_unit = demand.cpu_seconds_per_unit + demand.requests_per_unit * latency
+        assert task.work_units * per_unit == pytest.approx(
+            task.duration_at_latency(latency), rel=1e-9
+        )
+
+
+class TestTaskPair:
+    def test_valid_pair(self):
+        mem = memory_task("m", requests=10, pair_index=3, phase_index=1)
+        comp = compute_task("c", cpu_seconds=1e-3, depends_on=("m",))
+        pair = TaskPair(memory=mem, compute=comp)
+        assert pair.pair_index == 3
+        assert pair.phase_index == 1
+
+    def test_rejects_swapped_kinds(self):
+        mem = memory_task("m", requests=10)
+        comp = compute_task("c", cpu_seconds=1e-3, depends_on=("m",))
+        with pytest.raises(ConfigurationError):
+            TaskPair(memory=comp, compute=mem)
+
+    def test_rejects_missing_dependency_edge(self):
+        mem = memory_task("m", requests=10)
+        orphan = compute_task("c", cpu_seconds=1e-3)
+        with pytest.raises(ConfigurationError):
+            TaskPair(memory=mem, compute=orphan)

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListWorkloads:
+    def test_lists_all_registered(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dft", "SC_d128", "SIFT"):
+            assert name in out
+
+
+class TestRatio:
+    def test_measures_table2_value(self, capsys):
+        assert main(["ratio", "dft"]) == 0
+        assert "12.77%" in capsys.readouterr().out
+
+    def test_missing_workload_errors(self, capsys):
+        assert main(["ratio"]) == 2
+        assert "workload name" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_dynamic_run_reports_speedup_and_mtl(self, capsys):
+        assert main(["run", "SC_d128", "--policy", "dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs conventional" in out
+        assert "dominant MTL: 2" in out
+
+    def test_static_policy_spelling(self, capsys):
+        assert main(["run", "dft", "--policy", "static:1"]) == 0
+        assert "static-mtl-1" in capsys.readouterr().out
+
+    def test_offline_policy(self, capsys):
+        assert main(["run", "dft", "--policy", "offline"]) == 0
+        assert "offline-exhaustive" in capsys.readouterr().out
+
+    def test_gantt_flag(self, capsys):
+        assert main(["run", "dft", "--policy", "conventional", "--gantt"]) == 0
+        assert "P0 |" in capsys.readouterr().out
+
+    def test_unknown_policy_errors(self, capsys):
+        assert main(["run", "dft", "--policy", "magic"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_unknown_workload_errors(self, capsys):
+        assert main(["run", "ghost"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_spec_workload(self, capsys, tmp_path):
+        spec = tmp_path / "w.json"
+        spec.write_text(json.dumps(
+            {"name": "from-spec",
+             "phases": [{"pairs": 8, "ratio": 0.3}]}
+        ))
+        assert main(["run", "--spec", str(spec), "--policy", "static:1"]) == 0
+        assert "from-spec" in capsys.readouterr().out
+
+    def test_machine_options(self, capsys):
+        assert main(
+            ["run", "dft", "--channels", "2", "--smt", "2",
+             "--policy", "conventional"]
+        ) == 0
+        assert "i7-860/2ch/smt2" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_three_policy_table(self, capsys):
+        assert main(["compare", "dft"]) == 0
+        out = capsys.readouterr().out
+        assert "Dynamic Throttling" in out
+        assert "Online Exhaustive Search" in out
+        assert "Offline Exhaustive Search" in out
+
+
+class TestCharacterize:
+    def test_characterize_report(self, capsys):
+        assert main(["characterize", "SIFT"]) == 0
+        out = capsys.readouterr().out
+        assert "IdleBound" in out
+        assert "phase-diverse" in out
+
+    def test_characterize_uniform_workload(self, capsys):
+        assert main(["characterize", "dft"]) == 0
+        assert "static MTL suffices" in capsys.readouterr().out
+
+
+class TestSuite:
+    def test_suite_csv(self, capsys):
+        assert main(["suite", "--workloads", "dft"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("workload,machine,policy")
+        # 1 workload x 2 machines x 3 policies.
+        assert len(lines) == 7
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        assert main(["sweep", "--start", "0.2", "--stop", "0.4",
+                     "--step", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "S-MTL" in out
+        assert "0.20" in out and "0.40" in out
+
+    def test_invalid_sweep_errors(self, capsys):
+        assert main(["sweep", "--start", "2.0", "--stop", "1.0"]) == 2

@@ -1,0 +1,78 @@
+"""Tests for unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    CACHE_LINE_BYTES,
+    GIB,
+    KIB,
+    MIB,
+    cache_lines,
+    format_bytes,
+    format_time,
+    gibibytes,
+    kibibytes,
+    mebibytes,
+)
+
+
+class TestSizes:
+    def test_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024 ** 2
+        assert GIB == 1024 ** 3
+        assert CACHE_LINE_BYTES == 64
+
+    def test_constructors(self):
+        assert kibibytes(2) == 2048
+        assert mebibytes(0.5) == 524288
+        assert gibibytes(1) == GIB
+
+    def test_cache_lines_rounds_up(self):
+        assert cache_lines(0) == 0
+        assert cache_lines(1) == 1
+        assert cache_lines(64) == 1
+        assert cache_lines(65) == 2
+        assert cache_lines(mebibytes(0.5)) == 8192
+
+    def test_cache_lines_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cache_lines(-1)
+
+    @given(st.integers(min_value=0, max_value=GIB))
+    def test_property_cache_lines_cover_footprint(self, footprint):
+        lines = cache_lines(footprint)
+        assert lines * CACHE_LINE_BYTES >= footprint
+        assert (lines - 1) * CACHE_LINE_BYTES < footprint or lines == 0
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0 s"),
+            (50e-9, "50.0 ns"),
+            (3.2e-6, "3.2 us"),
+            (1.5e-3, "1.50 ms"),
+            (2.0, "2.000 s"),
+        ],
+    )
+    def test_format_time(self, value, expected):
+        assert format_time(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (512, "512 B"),
+            (2048, "2.0 KiB"),
+            (mebibytes(8), "8.0 MiB"),
+            (gibibytes(2), "2.00 GiB"),
+        ],
+    )
+    def test_format_bytes(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)

@@ -1,0 +1,115 @@
+"""Tests for the dft, streamcluster, and SIFT trace workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.runtime.monitor import measure_phase_ratios, measure_ratio
+from repro.workloads.dft import DFT_PAIRS, DFT_RATIO, dft
+from repro.workloads.registry import (
+    build_workload,
+    realistic_workloads,
+    workload_names,
+)
+from repro.workloads.sift import (
+    SIFT_FUNCTION_RATIOS,
+    SiftWorkload,
+    sift,
+    sift_function,
+)
+from repro.workloads.streamcluster import (
+    STREAMCLUSTER_RATIOS,
+    StreamclusterWorkload,
+    streamcluster,
+)
+
+
+class TestDft:
+    def test_reproduces_table2_ratio(self):
+        assert measure_ratio(dft()) == pytest.approx(DFT_RATIO, rel=1e-4)
+
+    def test_has_96_pairs(self):
+        # Section VI-C: "the dft kernel has only 96 parallel
+        # memory-compute task pairs".
+        assert dft().total_pairs == DFT_PAIRS
+
+    def test_single_phase(self):
+        assert len(dft().phases) == 1
+
+
+class TestStreamcluster:
+    @pytest.mark.parametrize("dimension", sorted(STREAMCLUSTER_RATIOS))
+    def test_reproduces_table2_ratio(self, dimension):
+        program = StreamclusterWorkload(
+            dimension=dimension, rounds=1, pairs_per_round=16
+        ).build()
+        assert measure_ratio(program) == pytest.approx(
+            STREAMCLUSTER_RATIOS[dimension], rel=1e-4
+        )
+
+    def test_native_input_is_d128(self):
+        assert streamcluster().name == "SC_d128"
+
+    def test_multiple_rounds_share_the_ratio(self):
+        program = StreamclusterWorkload(rounds=3, pairs_per_round=8).build()
+        ratios = measure_phase_ratios(program)
+        assert len(ratios) == 3
+        values = list(ratios.values())
+        assert max(values) == pytest.approx(min(values), rel=0.05)
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(WorkloadError):
+            streamcluster(dimension=99)
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            StreamclusterWorkload(rounds=0)
+        with pytest.raises(WorkloadError):
+            StreamclusterWorkload(pairs_per_round=0)
+
+
+class TestSift:
+    def test_fourteen_phases_in_pipeline_order(self):
+        program = sift()
+        assert [p.name for p in program.phases] == list(SIFT_FUNCTION_RATIOS)
+
+    def test_reproduces_table3_ratios(self):
+        # Shrink pair counts to keep the measurement fast.
+        program = SiftWorkload(pair_scale=0.1).build()
+        measured = measure_phase_ratios(program)
+        for function, expected in SIFT_FUNCTION_RATIOS.items():
+            assert measured[function] == pytest.approx(expected, rel=1e-4), function
+
+    def test_single_function_program(self):
+        program = sift_function("ECONVOLVE", pairs=8)
+        assert program.name == "SIFT.ECONVOLVE"
+        assert measure_ratio(program) == pytest.approx(0.7004, rel=1e-4)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(WorkloadError):
+            sift_function("GHOST")
+
+    def test_bad_pair_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            sift_function("DOG", pairs=0)
+        with pytest.raises(WorkloadError):
+            SiftWorkload(pair_scale=0.0)
+
+
+class TestRegistry:
+    def test_contains_all_paper_workloads(self):
+        names = workload_names()
+        assert "dft" in names
+        assert "SIFT" in names
+        for dim in STREAMCLUSTER_RATIOS:
+            assert f"SC_d{dim}" in names
+
+    def test_build_by_name(self):
+        assert build_workload("dft").name == "dft"
+        assert build_workload("SC_d36").name == "SC_d36"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("ghost")
+
+    def test_realistic_trio_matches_figure_14(self):
+        assert realistic_workloads() == ["dft", "SC_d128", "SIFT"]
