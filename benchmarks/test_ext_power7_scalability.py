@@ -24,49 +24,66 @@ Findings this bench asserts, extrapolating Figure 18's reasoning:
   *relative* gain, confirming the channel-dilution story at scale.
 """
 
+import os
+
 import pytest
 
 from _helpers import run_once, save_artifact
 from repro.analysis import format_speedup, render_table
-from repro.core import DynamicThrottlingPolicy, conventional_policy
-from repro.sim import Simulator
+from repro.runtime.parallel import SweepExecutor, SweepPoint
 from repro.sim.power7 import power7
-from repro.workloads import StreamclusterWorkload
 
 SMT_DEPTHS = [1, 2, 4]
 CHANNEL_CONFIGS = [8, 2]
 
+#: Worker processes for the 12-point grid (6 configurations x
+#: {conventional, dynamic}); 1 keeps the serial in-process path.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
-def scaled_streamcluster(threads: int):
+
+def scaled_streamcluster_spec(threads: int):
     """Streamcluster with parallel sections sized for ``threads``.
 
     The i7 traces give each section 64 pairs for 4 threads (16 rounds);
     keeping ~16 rounds per section at higher thread counts preserves
     the compute structure while avoiding barrier-dominated sections.
     """
-    return StreamclusterWorkload(
-        rounds=3, pairs_per_round=16 * threads
-    ).build()
+    return {
+        "kind": "streamcluster",
+        "rounds": 3,
+        "pairs_per_round": 16 * threads,
+    }
 
 
 def regenerate():
-    out = {}
+    configs = []
+    points = []
     for channels in CHANNEL_CONFIGS:
-        out[channels] = {}
         for smt in SMT_DEPTHS:
-            machine = power7(smt=smt, channels=channels)
-            n = machine.context_count
-            program = scaled_streamcluster(n)
-            conventional = Simulator(machine).run(
-                program, conventional_policy(n)
-            )
-            policy = DynamicThrottlingPolicy(context_count=n)
-            throttled = Simulator(machine).run(program, policy)
-            out[channels][smt] = {
-                "speedup": conventional.makespan / throttled.makespan,
-                "mtl": throttled.dominant_mtl(),
-                "threads": n,
-            }
+            machine_spec = {"preset": "power7", "smt": smt, "channels": channels}
+            n = power7(smt=smt, channels=channels).context_count
+            workload = scaled_streamcluster_spec(n)
+            configs.append((channels, smt, n))
+            for policy in ({"kind": "conventional"}, {"kind": "dynamic"}):
+                points.append(
+                    SweepPoint(
+                        workload=workload,
+                        machine=machine_spec,
+                        policy=policy,
+                        label=f"power7/{channels}ch/smt{smt}/{policy['kind']}",
+                    )
+                )
+    results = SweepExecutor(jobs=JOBS).run(points)
+
+    out = {}
+    for index, (channels, smt, n) in enumerate(configs):
+        conventional = results[2 * index]
+        throttled = results[2 * index + 1]
+        out.setdefault(channels, {})[smt] = {
+            "speedup": conventional.makespan / throttled.makespan,
+            "mtl": throttled.selected_mtl,
+            "threads": n,
+        }
     return out
 
 

@@ -16,15 +16,16 @@ asserts:
   (Figure 13(c): no descending slope in the S-MTL=3 region).
 """
 
+import os
+
 import pytest
 
 from _helpers import run_once, save_artifact
 from repro.analysis import Series, ascii_chart, render_table
-from repro.core import offline_exhaustive_search, predict_speedup_curve
-from repro.memory.cache import LastLevelCache
+from repro.core import predict_speedup_curve
 from repro.memory.contention import nehalem_ddr3_contention
+from repro.runtime.parallel import SweepExecutor, SweepPoint
 from repro.units import mebibytes
-from repro.workloads import SyntheticWorkload
 
 #: Coarser than the paper's 0.01 grid to keep the harness quick; the
 #: shape (regions, hills, boundaries) is fully resolved at 0.05.
@@ -34,27 +35,40 @@ RATIOS = [round(0.05 * i, 2) for i in range(1, 81)]
 #: for its residual prediction error) stay small against steady state.
 PAIRS = 96
 
+#: Worker processes for the sweep; 1 keeps the serial in-process path
+#: (results are identical either way — the golden regression tests in
+#: tests/runtime/test_golden_figures.py prove it against this file's
+#: own artifacts).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
-def i7_llc():
-    return LastLevelCache(capacity_bytes=mebibytes(8), sharers=4)
+I7_LLC = {"capacity_bytes": mebibytes(8), "sharers": 4}
+
+
+def sweep_points(footprint_mb: float, ratios=None):
+    """The fig13 sweep grid: one offline-search point per ratio."""
+    return [
+        SweepPoint(
+            workload={
+                "kind": "synthetic",
+                "ratio": ratio,
+                "footprint_bytes": mebibytes(footprint_mb),
+                "pairs": PAIRS,
+                "llc": I7_LLC,
+            },
+            policy={"kind": "offline"},
+            label=f"fig13/{footprint_mb:g}MB/r={ratio:.2f}",
+        )
+        for ratio in (RATIOS if ratios is None else ratios)
+    ]
 
 
 def sweep(footprint_mb: float):
     """Measured best-static speedup and S-MTL per ratio."""
-    cache = i7_llc()
-    measured = []
-    for ratio in RATIOS:
-        program = SyntheticWorkload(
-            ratio=ratio,
-            footprint_bytes=mebibytes(footprint_mb),
-            pairs=PAIRS,
-            cache=cache,
-        ).build()
-        outcome = offline_exhaustive_search(program)
-        measured.append(
-            (ratio, outcome.speedup_over(4), outcome.best_mtl)
-        )
-    return measured
+    results = SweepExecutor(jobs=JOBS).run(sweep_points(footprint_mb))
+    return [
+        (ratio, result.per_mtl_makespan[4] / result.makespan, result.selected_mtl)
+        for ratio, result in zip(RATIOS, results)
+    ]
 
 
 def analytical():

@@ -14,13 +14,22 @@ Workloads are named as in the paper (``dft``, ``SC_d128``, ``SIFT``)
 or loaded from a JSON spec via ``--spec`` (see
 :mod:`repro.workloads.spec`).  Machines are configured with
 ``--channels`` and ``--smt``.
+
+The grid-shaped commands (``sweep``, ``suite``, ``compare``) run
+through the parallel sweep executor and accept ``--jobs N`` (worker
+processes), ``--cache-dir PATH`` (content-addressed result cache; also
+settable via ``REPRO_CACHE_DIR``), ``--no-cache``, and
+``--telemetry PATH`` (JSON-lines run telemetry).  ``--jobs 1`` is the
+serial in-process path and produces bit-identical results.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, List, Mapping, Optional
 
 from repro.analysis import (
     format_comparison,
@@ -33,15 +42,18 @@ from repro.core import (
     FixedMtlPolicy,
     OnlineExhaustivePolicy,
     conventional_policy,
-    offline_exhaustive_search,
     predict_speedup_curve,
 )
 from repro.errors import ReproError
 from repro.runtime import (
-    compare_policies,
+    ResultCache,
+    SweepExecutor,
+    SweepPoint,
+    TelemetryWriter,
+    compare_policies_grid,
     measure_ratio,
     offline_best_static_factory,
-    paper_policy_suite,
+    paper_policy_specs,
 )
 from repro.sim import Simulator, i7_860
 from repro.sim.gantt import render_gantt
@@ -71,6 +83,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="registered workload name (see list-workloads)")
         p.add_argument("--spec", help="path to a JSON workload spec")
 
+    def add_executor_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial in-process)")
+        p.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR if set, else no cache)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+        p.add_argument("--telemetry", default=None,
+                       help="append JSON-lines run telemetry to PATH")
+
     sub.add_parser("list-workloads", help="list registered workloads")
 
     ratio = sub.add_parser("ratio", help="measure a workload's T_m1/T_c")
@@ -95,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_workload_options(compare)
     add_machine_options(compare)
+    add_executor_options(compare)
 
     characterize_cmd = sub.add_parser(
         "characterize",
@@ -107,6 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--start", type=float, default=0.05)
     sweep.add_argument("--stop", type=float, default=2.0)
     sweep.add_argument("--step", type=float, default=0.1)
+    add_executor_options(sweep)
 
     suite = sub.add_parser(
         "suite",
@@ -116,7 +141,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workloads", nargs="*", default=None,
         help="workload names (default: the Figure 14 trio)",
     )
+    add_executor_options(suite)
     return parser
+
+
+def _executor_from_args(args: argparse.Namespace) -> SweepExecutor:
+    """Build the sweep executor a grid command asked for."""
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    cache = None
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir and not args.no_cache:
+        cache = ResultCache(cache_dir)
+    telemetry = TelemetryWriter(args.telemetry) if args.telemetry else None
+    return SweepExecutor(jobs=args.jobs, cache=cache, telemetry=telemetry)
+
+
+def _workload_spec_from_args(args: argparse.Namespace) -> Mapping[str, Any]:
+    """Declarative workload spec for the executor-backed commands."""
+    if args.spec:
+        try:
+            document = json.loads(open(args.spec).read())
+        except OSError as exc:
+            raise ReproError(f"cannot read workload spec {args.spec}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"workload spec {args.spec} is not valid JSON: {exc}"
+            )
+        return {"kind": "spec", "document": document}
+    if not args.workload:
+        raise ReproError("give a workload name or --spec PATH")
+    return {"kind": "registry", "name": args.workload}
 
 
 def _load_program(args: argparse.Namespace) -> StreamProgram:
@@ -198,13 +253,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    program = _load_program(args)
-    machine = _machine(args)
-    policies = dict(paper_policy_suite(machine))
-    policies["Offline Exhaustive Search"] = offline_best_static_factory(
-        program, machine
+    result = compare_policies_grid(
+        _workload_spec_from_args(args),
+        paper_policy_specs(),
+        machine={"preset": "i7_860", "channels": args.channels, "smt": args.smt},
+        executor=_executor_from_args(args),
     )
-    result = compare_policies(program, policies, machine=machine)
     print(format_comparison(result))
     return 0
 
@@ -213,7 +267,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.step <= 0 or args.stop < args.start:
         raise ReproError("sweep needs step > 0 and stop >= start")
     from repro.memory.contention import nehalem_ddr3_contention
-    from repro.workloads import synthetic_from_ratio
 
     ratios = []
     value = args.start
@@ -221,15 +274,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ratios.append(round(value, 6))
         value += args.step
     predictions = predict_speedup_curve(ratios, nehalem_ddr3_contention())
+    points = [
+        SweepPoint(
+            workload={"kind": "synthetic", "ratio": ratio, "pairs": 48},
+            policy={"kind": "offline"},
+            label=f"sweep/r={ratio:.2f}",
+        )
+        for ratio in ratios
+    ]
+    outcomes = _executor_from_args(args).run(points)
     rows = []
-    for prediction in predictions:
-        program = synthetic_from_ratio(prediction.ratio, pairs=48)
-        outcome = offline_exhaustive_search(program)
+    for prediction, outcome in zip(predictions, outcomes):
+        assert outcome.per_mtl_makespan is not None
         rows.append(
             [
                 f"{prediction.ratio:.2f}",
-                format_speedup(outcome.speedup_over(4)),
-                str(outcome.best_mtl),
+                format_speedup(outcome.per_mtl_makespan[4] / outcome.makespan),
+                str(outcome.selected_mtl),
                 format_speedup(prediction.speedup),
                 str(prediction.best_mtl),
             ]
@@ -243,23 +304,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    from repro.core import DynamicThrottlingPolicy
-    from repro.runtime.suite import run_suite
+    from repro.runtime.suite import run_suite_grid
     from repro.workloads import realistic_workloads
 
     names = args.workloads if args.workloads else realistic_workloads()
     workloads = {
-        name: (lambda n=name: build_workload(n)) for name in names
+        name: {"kind": "registry", "name": name} for name in names
     }
-    machines = [i7_860(channels=1), i7_860(channels=2)]
+    machines = [
+        {"preset": "i7_860", "channels": 1},
+        {"preset": "i7_860", "channels": 2},
+    ]
     policies = {
-        "dynamic": lambda machine: DynamicThrottlingPolicy(
-            context_count=machine.context_count
-        ),
-        "static-1": lambda machine: FixedMtlPolicy(1),
-        "static-2": lambda machine: FixedMtlPolicy(2),
+        "dynamic": {"kind": "dynamic"},
+        "static-1": {"kind": "static", "mtl": 1},
+        "static-2": {"kind": "static", "mtl": 2},
     }
-    result = run_suite(workloads, machines, policies)
+    result = run_suite_grid(
+        workloads, machines, policies, executor=_executor_from_args(args)
+    )
     print(result.to_csv(), end="")
     return 0
 

@@ -6,9 +6,14 @@
 * :mod:`repro.runtime.experiment` — policy-comparison harness;
 * :mod:`repro.runtime.characterize` — per-phase workload reports with
   model predictions;
-* :mod:`repro.runtime.suite` — workloads x machines x policies grids.
+* :mod:`repro.runtime.suite` — workloads x machines x policies grids;
+* :mod:`repro.runtime.parallel` — the parallel sweep executor over
+  declarative sweep points;
+* :mod:`repro.runtime.cache` — content-addressed on-disk result cache;
+* :mod:`repro.runtime.telemetry` — JSON-lines run telemetry.
 """
 
+from repro.runtime.cache import CacheStats, ResultCache, stable_hash
 from repro.runtime.characterize import (
     PhaseCharacter,
     WorkloadCharacter,
@@ -18,7 +23,9 @@ from repro.runtime.experiment import (
     ComparisonResult,
     PolicyOutcome,
     compare_policies,
+    compare_policies_grid,
     offline_best_static_factory,
+    paper_policy_specs,
     paper_policy_suite,
 )
 from repro.runtime.measurement import (
@@ -27,24 +34,45 @@ from repro.runtime.measurement import (
     middle_mean,
 )
 from repro.runtime.monitor import measure_phase_ratios, measure_ratio, pair_samples
-from repro.runtime.suite import SuiteResult, SuiteRow, run_suite
+from repro.runtime.parallel import (
+    PointResult,
+    SweepExecutor,
+    SweepPoint,
+    point_key,
+    run_point,
+)
+from repro.runtime.suite import SuiteResult, SuiteRow, run_suite, run_suite_grid
+from repro.runtime.telemetry import TelemetryWriter, read_telemetry
 
 __all__ = [
+    "CacheStats",
     "ComparisonResult",
     "PhaseCharacter",
+    "PointResult",
+    "ResultCache",
     "SuiteResult",
     "SuiteRow",
+    "SweepExecutor",
+    "SweepPoint",
+    "TelemetryWriter",
     "WorkloadCharacter",
     "characterize",
-    "run_suite",
-    "PolicyOutcome",
-    "RepeatedMeasurement",
     "compare_policies",
+    "compare_policies_grid",
     "measure_makespan",
     "measure_phase_ratios",
     "measure_ratio",
     "middle_mean",
     "offline_best_static_factory",
     "pair_samples",
+    "paper_policy_specs",
     "paper_policy_suite",
+    "point_key",
+    "read_telemetry",
+    "run_point",
+    "run_suite",
+    "run_suite_grid",
+    "stable_hash",
+    "PolicyOutcome",
+    "RepeatedMeasurement",
 ]

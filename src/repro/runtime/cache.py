@@ -1,0 +1,166 @@
+"""Content-addressed on-disk cache for sweep-point results.
+
+A sweep point is fully determined by its declarative description —
+``(workload spec, machine spec, policy spec, seed)`` — and the
+simulator is deterministic given those (see
+:mod:`repro.sim.simulator`), so the result of a point can be addressed
+by a stable hash of its description.  :func:`stable_hash` canonicalises
+the description to JSON (sorted keys, ``repr``-exact floats) and
+SHA-256 hashes it; :class:`ResultCache` maps such keys to JSON payloads
+under a two-level directory fan-out (``ab/abcdef....json``) to keep
+directories small on large sweeps.
+
+Writes are atomic (temp file + :func:`os.replace`) so a parallel sweep
+whose workers race to store the same key never leaves a torn file;
+corrupt or unreadable entries are treated as misses and overwritten,
+never propagated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "ResultCache", "stable_hash"]
+
+#: Bump to invalidate every existing cache entry when the simulator's
+#: observable behaviour changes (the version participates in the key).
+CACHE_SCHEMA_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Normalise a value for hashing: dicts sorted, floats exact.
+
+    Floats are rewritten as ``repr`` strings so the canonical form is
+    bit-exact (JSON float round-tripping is repr-faithful in Python 3,
+    but being explicit keeps the key stable across serialisers), and
+    integral floats hash differently from ints on purpose — a spec that
+    changes type changes meaning.
+    """
+    if isinstance(value, dict):
+        return {str(k): _canonical(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    raise ConfigurationError(
+        f"cannot hash value of type {type(value).__name__}: {value!r}; "
+        "sweep specs must be built from JSON-compatible scalars"
+    )
+
+
+def stable_hash(description: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``description``."""
+    canonical = json.dumps(_canonical(description), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class ResultCache:
+    """On-disk JSON store keyed by content address.
+
+    Attributes:
+        directory: Cache root; created on first store.
+        stats: Lookup counters, reset per instance (the *process's*
+            view of the cache, not the directory's lifetime history).
+    """
+
+    directory: Union[str, pathlib.Path]
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = pathlib.Path(self.directory)
+
+    def _path_for(self, key: str) -> pathlib.Path:
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise ConfigurationError(f"malformed cache key {key!r}")
+        return pathlib.Path(self.directory) / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored payload for ``key``, or ``None`` on miss.
+
+        A corrupt entry (torn write from a killed run, manual edit) is
+        deleted and reported as a miss so the point simply re-runs.
+        """
+        path = self._path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["result"]
+
+    def put(self, key: str, result: Dict[str, Any], point: Optional[Dict[str, Any]] = None) -> None:
+        """Atomically store ``result`` (and optionally the point spec
+        that produced it, for debuggability) under ``key``."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "key": key, "result": result}
+        if point is not None:
+            payload["point"] = point
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        root = pathlib.Path(self.directory)
+        removed = 0
+        if not root.exists():
+            return 0
+        for entry in root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -12,18 +12,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from typing import Any, List, Mapping
+
 from repro.core.offline import offline_exhaustive_search
 from repro.core.policies import OnlineExhaustivePolicy
 from repro.core.throttle import DynamicThrottlingPolicy
 from repro.errors import MeasurementError
-from repro.runtime.measurement import measure_makespan
+from repro.runtime.measurement import middle_mean, measure_makespan
+from repro.runtime.parallel import PointResult, SweepExecutor, SweepPoint
 from repro.sim.machine import Machine, i7_860
-from repro.sim.noise import GaussianNoise
+from repro.sim.noise import noise_for_seed
 from repro.sim.scheduler import FixedMtlPolicy, SchedulingPolicy, conventional_policy
 from repro.sim.simulator import Simulator
 from repro.stream.program import StreamProgram
 
-__all__ = ["PolicyOutcome", "ComparisonResult", "compare_policies", "paper_policy_suite"]
+__all__ = [
+    "PolicyOutcome",
+    "ComparisonResult",
+    "compare_policies",
+    "compare_policies_grid",
+    "paper_policy_suite",
+    "paper_policy_specs",
+]
+
+#: Seed of the single instrumented run that provides MTL selection and
+#: probe accounting when makespans come from the repeated-run protocol.
+INSTRUMENT_SEED = 997
 
 
 @dataclass(frozen=True)
@@ -90,7 +104,7 @@ def compare_policies(
     # same kind of environment the measured runs do: noisy when the
     # repeated-run protocol is in force, noise-free otherwise.
     instrument_noise = (
-        GaussianNoise(seed=997) if repeated_runs > 0 else None
+        noise_for_seed(INSTRUMENT_SEED) if repeated_runs > 0 else None
     )
 
     outcomes = []
@@ -121,6 +135,125 @@ def compare_policies(
         baseline_makespan=baseline,
         outcomes=tuple(outcomes),
     )
+
+
+def compare_policies_grid(
+    workload: Mapping[str, Any],
+    policies: Dict[str, Mapping[str, Any]],
+    machine: Optional[Mapping[str, Any]] = None,
+    repeated_runs: int = 0,
+    base_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
+) -> ComparisonResult:
+    """The declarative, executor-backed twin of :func:`compare_policies`.
+
+    Every (policy, run) pair — including the conventional baseline's —
+    becomes one sweep point, submitted as a single batch so a parallel
+    executor overlaps policies and repeated runs freely and a cached
+    one replays them for free.  Semantics mirror
+    :func:`compare_policies` exactly: noise-free single runs when
+    ``repeated_runs <= 0``, otherwise the 20-run/middle-10 protocol
+    with per-run seeds ``base_seed + run_index`` plus one instrumented
+    run per policy at :data:`INSTRUMENT_SEED` for MTL selection and
+    probe accounting.
+
+    Args:
+        workload: Workload spec (:mod:`repro.runtime.parallel`).
+        policies: Name to policy spec; the ``offline`` kind is allowed
+            and measures the best static MTL found by exhaustive
+            search.
+        machine: Machine spec (defaults to the 1-DIMM i7-860).
+        repeated_runs: As in :func:`compare_policies`.
+        base_seed: First noise seed of the repeated-run protocol.
+        executor: Defaults to a serial, uncached executor.
+    """
+    machine_spec = machine if machine is not None else {"preset": "i7_860"}
+    runner = executor if executor is not None else SweepExecutor(jobs=1)
+    baseline_spec: Mapping[str, Any] = {"kind": "conventional"}
+    seeds: List[Optional[int]] = (
+        [base_seed + run for run in range(repeated_runs)]
+        if repeated_runs > 0
+        else [None]
+    )
+
+    points: List[SweepPoint] = []
+    for name, spec in [("conventional", baseline_spec)] + list(policies.items()):
+        for seed in seeds:
+            points.append(
+                SweepPoint(
+                    workload=workload,
+                    machine=machine_spec,
+                    policy=spec,
+                    seed=seed,
+                    label=f"{name}/measure",
+                )
+            )
+        if repeated_runs > 0 and name != "conventional":
+            points.append(
+                SweepPoint(
+                    workload=workload,
+                    machine=machine_spec,
+                    policy=spec,
+                    seed=INSTRUMENT_SEED,
+                    label=f"{name}/instrument",
+                )
+            )
+    results = runner.run(points)
+
+    runs_per_policy = len(seeds)
+    cursor = 0
+
+    def take_measured() -> float:
+        nonlocal cursor
+        makespans = [
+            results[cursor + run].makespan for run in range(runs_per_policy)
+        ]
+        cursor += runs_per_policy
+        if repeated_runs > 0:
+            return middle_mean(makespans)
+        return makespans[0]
+
+    def take_instrumented() -> PointResult:
+        nonlocal cursor
+        # Noise-free mode: the measured run doubles as the instrumented
+        # one (same environment, same numbers), exactly as in
+        # :func:`compare_policies`.
+        if repeated_runs > 0:
+            instrumented = results[cursor]
+            cursor += 1
+            return instrumented
+        return results[cursor - 1]
+
+    baseline = take_measured()
+    outcomes = []
+    for name in policies:
+        makespan = take_measured()
+        instrumented = take_instrumented()
+        outcomes.append(
+            PolicyOutcome(
+                policy_name=name,
+                makespan=makespan,
+                speedup=baseline / makespan if makespan > 0 else float("inf"),
+                selected_mtl=instrumented.selected_mtl,
+                probe_fraction=instrumented.probe_fraction,
+            )
+        )
+    first = results[0]
+    return ComparisonResult(
+        program_name=first.workload,
+        machine_name=first.machine,
+        baseline_makespan=baseline,
+        outcomes=tuple(outcomes),
+    )
+
+
+def paper_policy_specs(window_pairs: int = 16) -> Dict[str, Mapping[str, Any]]:
+    """Declarative specs for the three policies of Figure 14."""
+    return {
+        "Dynamic Throttling": {"kind": "dynamic", "window_pairs": window_pairs},
+        "Online Exhaustive Search": {"kind": "online", "window_pairs": window_pairs},
+        "Offline Exhaustive Search": {"kind": "offline"},
+    }
 
 
 def paper_policy_suite(

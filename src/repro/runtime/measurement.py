@@ -14,7 +14,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import MeasurementError
 from repro.sim.machine import Machine, i7_860
-from repro.sim.noise import GaussianNoise, NoiseModel
+from repro.sim.noise import NoiseModel, noise_for_seed
 from repro.sim.scheduler import SchedulingPolicy
 from repro.sim.simulator import Simulator
 from repro.stream.program import StreamProgram
@@ -84,14 +84,14 @@ def measure_makespan(
         keep: Middle runs averaged (10 in the paper).
         base_seed: Noise seeds are ``base_seed + run_index``.
         noise_factory: Maps a seed to a noise model; defaults to the
-            standard :class:`~repro.sim.noise.GaussianNoise`.
+            canonical :func:`~repro.sim.noise.noise_for_seed` mapping
+            shared with the parallel sweep executor, so a seed means
+            the same noise stream on every execution path.
     """
     if runs < 1:
         raise MeasurementError(f"runs must be >= 1, got {runs}")
     target = machine if machine is not None else i7_860()
-    make_noise = noise_factory if noise_factory is not None else (
-        lambda seed: GaussianNoise(seed=seed)
-    )
+    make_noise = noise_factory if noise_factory is not None else noise_for_seed
     makespans: List[float] = []
     for run_index in range(runs):
         simulator = Simulator(target, noise=make_noise(base_seed + run_index))

@@ -1,0 +1,519 @@
+"""Parallel sweep execution over declarative sweep points.
+
+Every evaluation figure in the paper is a sweep: a grid of (workload,
+machine, policy, seed) configurations, each simulated independently.
+This module makes those grids first-class and executable in parallel:
+
+* a :class:`SweepPoint` describes one configuration *declaratively*
+  (plain JSON-compatible dicts), so points pickle cleanly into worker
+  processes and hash stably into the result cache;
+* :func:`run_point` materialises and runs one point — the **single**
+  execution path shared verbatim by the serial fallback and the
+  process-pool workers, so parallelism can never change numbers;
+* :class:`SweepExecutor` fans points out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (or runs them
+  in-process at ``jobs=1``), consults an optional
+  :class:`~repro.runtime.cache.ResultCache` keyed by
+  :func:`point_key`, and emits one telemetry record per point plus a
+  sweep summary through an optional
+  :class:`~repro.runtime.telemetry.TelemetryWriter`.
+
+Determinism: results are returned in input order regardless of worker
+completion order, noise is derived per point from its seed via
+:func:`repro.sim.noise.noise_for_seed` inside the process that runs
+the point, and cache keys include the schema version, so
+``jobs=1`` / ``jobs=N`` / warm-cache replays all yield identical rows.
+
+Spec vocabulary (validated eagerly, offending key named):
+
+==========  =====================================================
+workload    ``{"kind": "registry", "name": "dft"}``
+            ``{"kind": "synthetic", "ratio": r, "footprint_bytes":
+            b, "pairs": p, "llc": {"capacity_bytes": c,
+            "sharers": s}}`` (``llc`` optional)
+            ``{"kind": "streamcluster", "dimension": d, "rounds":
+            r, "pairs_per_round": p}``
+            ``{"kind": "spec", "document": {...}}`` (a JSON
+            workload spec, :mod:`repro.workloads.spec`)
+machine     ``{"preset": "i7_860", "channels": 1, "smt": 1}``
+            ``{"preset": "power7", "smt": 4, "channels": 8}``
+policy      ``{"kind": "conventional"}``
+            ``{"kind": "static", "mtl": k}``
+            ``{"kind": "dynamic", "window_pairs": W}``
+            ``{"kind": "online", "window_pairs": W}``
+            ``{"kind": "offline"}`` (exhaustive static search)
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.offline import offline_exhaustive_search
+from repro.core.policies import OnlineExhaustivePolicy
+from repro.core.throttle import DynamicThrottlingPolicy
+from repro.errors import ConfigurationError, MeasurementError
+from repro.memory.cache import LastLevelCache
+from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache, stable_hash
+from repro.runtime.telemetry import TelemetryWriter, point_event, sweep_event
+from repro.sim.machine import Machine, i7_860
+from repro.sim.noise import noise_for_seed
+from repro.sim.power7 import power7
+from repro.sim.scheduler import FixedMtlPolicy, SchedulingPolicy, conventional_policy
+from repro.sim.simulator import Simulator
+from repro.stream.program import StreamProgram
+from repro.workloads import SyntheticWorkload, build_workload
+from repro.workloads.spec import parse_workload_spec
+from repro.workloads.streamcluster import StreamclusterWorkload
+
+__all__ = [
+    "SweepPoint",
+    "PointResult",
+    "SweepExecutor",
+    "point_key",
+    "run_point",
+    "build_workload_from_spec",
+    "build_machine_from_spec",
+    "build_policy_from_spec",
+]
+
+
+def _require(spec: Mapping[str, Any], key: str, what: str) -> Any:
+    if key not in spec:
+        raise ConfigurationError(f"{what} spec {dict(spec)!r} needs a {key!r} key")
+    return spec[key]
+
+
+def build_workload_from_spec(spec: Mapping[str, Any]) -> StreamProgram:
+    """Materialise a workload spec into a :class:`StreamProgram`."""
+    kind = _require(spec, "kind", "workload")
+    if kind == "registry":
+        return build_workload(str(_require(spec, "name", "workload")))
+    if kind == "synthetic":
+        llc = spec.get("llc")
+        cache = None
+        if llc is not None:
+            cache = LastLevelCache(
+                capacity_bytes=int(_require(llc, "capacity_bytes", "llc")),
+                sharers=int(_require(llc, "sharers", "llc")),
+            )
+        kwargs: Dict[str, Any] = {"ratio": float(_require(spec, "ratio", "workload"))}
+        if "footprint_bytes" in spec:
+            kwargs["footprint_bytes"] = int(spec["footprint_bytes"])
+        if "pairs" in spec:
+            kwargs["pairs"] = int(spec["pairs"])
+        return SyntheticWorkload(cache=cache, **kwargs).build()
+    if kind == "streamcluster":
+        kwargs = {}
+        for key in ("dimension", "rounds", "pairs_per_round", "footprint_bytes"):
+            if key in spec:
+                kwargs[key] = int(spec[key])
+        return StreamclusterWorkload(**kwargs).build()
+    if kind == "spec":
+        return parse_workload_spec(dict(_require(spec, "document", "workload")))
+    raise ConfigurationError(
+        f"unknown workload kind {kind!r}; use registry | synthetic | "
+        "streamcluster | spec"
+    )
+
+
+def build_machine_from_spec(spec: Mapping[str, Any]) -> Machine:
+    """Materialise a machine spec into a :class:`Machine`."""
+    preset = spec.get("preset", "i7_860")
+    if preset == "i7_860":
+        kwargs: Dict[str, Any] = {}
+        for key in ("channels", "smt", "llc_capacity_bytes"):
+            if key in spec:
+                kwargs[key] = int(spec[key])
+        return i7_860(**kwargs)
+    if preset == "power7":
+        kwargs = {}
+        for key in ("smt", "channels"):
+            if key in spec:
+                kwargs[key] = int(spec[key])
+        return power7(**kwargs)
+    raise ConfigurationError(
+        f"unknown machine preset {preset!r}; use i7_860 | power7"
+    )
+
+
+def build_policy_from_spec(
+    spec: Mapping[str, Any], machine: Machine
+) -> SchedulingPolicy:
+    """Materialise a policy spec for ``machine``.
+
+    The ``offline`` kind has no single-policy materialisation (it is a
+    meta-procedure over every static MTL) and is handled directly by
+    :func:`run_point`.
+    """
+    kind = _require(spec, "kind", "policy")
+    n = machine.context_count
+    if kind == "conventional":
+        return conventional_policy(n)
+    if kind == "static":
+        return FixedMtlPolicy(int(_require(spec, "mtl", "policy")))
+    if kind == "dynamic":
+        kwargs: Dict[str, Any] = {"context_count": n}
+        if "window_pairs" in spec:
+            kwargs["window_pairs"] = int(spec["window_pairs"])
+        return DynamicThrottlingPolicy(**kwargs)
+    if kind == "online":
+        kwargs = {"context_count": n}
+        if "window_pairs" in spec:
+            kwargs["window_pairs"] = int(spec["window_pairs"])
+        return OnlineExhaustivePolicy(**kwargs)
+    raise ConfigurationError(
+        f"unknown policy kind {kind!r}; use conventional | static | "
+        "dynamic | online | offline"
+    )
+
+
+def _frozen(value: Any) -> Any:
+    """Deep-freeze a spec so :class:`SweepPoint` stays hashab-free but
+    immutable in spirit: nested dicts/lists become plain copies the
+    point owns (callers mutating their spec after building points must
+    not retroactively change them)."""
+    if isinstance(value, Mapping):
+        return {str(k): _frozen(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_frozen(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One declarative sweep configuration.
+
+    Attributes:
+        workload: Workload spec (see module docstring).
+        machine: Machine spec; defaults to the paper's 1-DIMM i7-860.
+        policy: Policy spec; defaults to the conventional baseline.
+        seed: Noise seed; ``None`` runs noise-free (the deterministic
+            evaluation mode every figure uses).
+        label: Free-form caller bookkeeping carried into telemetry.
+            Deliberately **excluded** from the cache key: two labels
+            for the same configuration share one cached result.
+    """
+
+    workload: Mapping[str, Any]
+    machine: Mapping[str, Any] = field(default_factory=lambda: {"preset": "i7_860"})
+    policy: Mapping[str, Any] = field(default_factory=lambda: {"kind": "conventional"})
+    seed: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", _frozen(self.workload))
+        object.__setattr__(self, "machine", _frozen(self.machine))
+        object.__setattr__(self, "policy", _frozen(self.policy))
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(f"seed must be an int or None, got {self.seed!r}")
+
+    def describe(self) -> Dict[str, Any]:
+        """The content that addresses this point (label excluded)."""
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "workload": self.workload,
+            "machine": self.machine,
+            "policy": self.policy,
+            "seed": self.seed,
+        }
+
+
+def point_key(point: SweepPoint) -> str:
+    """Stable content-address of a sweep point."""
+    return stable_hash(point.describe())
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one executed sweep point (JSON round-trippable).
+
+    Attributes:
+        label: Echoed from the point.
+        workload / machine / policy: Names as the simulator reports
+            them (not the specs — those live on the point).
+        seed: The noise seed the run used.
+        makespan: Simulated execution time; for ``offline`` points the
+            makespan of the best static MTL.
+        selected_mtl: Dominant MTL of the run (best MTL for
+            ``offline``), ``None`` when no MTL timeline was recorded.
+        probe_fraction: Share of task time inside monitoring windows.
+        task_count: Simulated task completions.
+        sim_events: Task completions plus MTL transitions — the
+            "simulated events" figure telemetry reports.
+        per_mtl_makespan: For ``offline`` points, every static MTL's
+            makespan (the Figure 13 speedup curves need the MTL = n
+            baseline); ``None`` otherwise.
+    """
+
+    label: str
+    workload: str
+    machine: str
+    policy: str
+    seed: Optional[int]
+    makespan: float
+    selected_mtl: Optional[int]
+    probe_fraction: float
+    task_count: int
+    sim_events: int
+    per_mtl_makespan: Optional[Dict[int, float]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "label": self.label,
+            "workload": self.workload,
+            "machine": self.machine,
+            "policy": self.policy,
+            "seed": self.seed,
+            "makespan": self.makespan,
+            "selected_mtl": self.selected_mtl,
+            "probe_fraction": self.probe_fraction,
+            "task_count": self.task_count,
+            "sim_events": self.sim_events,
+        }
+        if self.per_mtl_makespan is not None:
+            payload["per_mtl_makespan"] = [
+                [mtl, span] for mtl, span in sorted(self.per_mtl_makespan.items())
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PointResult":
+        per_mtl = payload.get("per_mtl_makespan")
+        return cls(
+            label=str(payload.get("label", "")),
+            workload=str(payload["workload"]),
+            machine=str(payload["machine"]),
+            policy=str(payload["policy"]),
+            seed=payload.get("seed"),
+            makespan=float(payload["makespan"]),
+            selected_mtl=payload.get("selected_mtl"),
+            probe_fraction=float(payload.get("probe_fraction", 0.0)),
+            task_count=int(payload.get("task_count", 0)),
+            sim_events=int(payload.get("sim_events", 0)),
+            per_mtl_makespan=(
+                {int(mtl): float(span) for mtl, span in per_mtl}
+                if per_mtl is not None
+                else None
+            ),
+        )
+
+
+def run_point(point: SweepPoint) -> PointResult:
+    """Execute one sweep point in the current process.
+
+    This is the single source of truth for per-point execution and
+    seeding: the serial fallback calls it directly and the pool workers
+    call it inside their processes, so both paths build the workload,
+    machine, policy, and noise stream identically from the declarative
+    spec.  Noise comes from :func:`repro.sim.noise.noise_for_seed`,
+    constructed *here* — RNG state is never pickled across process
+    boundaries.
+    """
+    program = build_workload_from_spec(point.workload)
+    machine = build_machine_from_spec(point.machine)
+    policy_kind = _require(point.policy, "kind", "policy")
+
+    if policy_kind == "offline":
+        noise_factory = (
+            (lambda: noise_for_seed(point.seed)) if point.seed is not None else None
+        )
+        outcome = offline_exhaustive_search(
+            program, machine=machine, noise_factory=noise_factory
+        )
+        best = outcome.best
+        return PointResult(
+            label=point.label,
+            workload=program.name,
+            machine=machine.name,
+            policy="offline-exhaustive",
+            seed=point.seed,
+            makespan=best.makespan,
+            selected_mtl=outcome.best_mtl,
+            probe_fraction=best.probe_task_time_fraction(),
+            task_count=best.task_count,
+            sim_events=best.task_count + len(best.mtl_changes),
+            per_mtl_makespan={
+                mtl: result.makespan for mtl, result in outcome.by_mtl.items()
+            },
+        )
+
+    policy = build_policy_from_spec(point.policy, machine)
+    simulator = Simulator(machine, noise=noise_for_seed(point.seed))
+    result = simulator.run(program, policy)
+    try:
+        selected: Optional[int] = result.dominant_mtl()
+    except MeasurementError:
+        selected = None
+    return PointResult(
+        label=point.label,
+        workload=program.name,
+        machine=machine.name,
+        policy=policy.name,
+        seed=point.seed,
+        makespan=result.makespan,
+        selected_mtl=selected,
+        probe_fraction=result.probe_task_time_fraction(),
+        task_count=result.task_count,
+        sim_events=result.task_count + len(result.mtl_changes),
+    )
+
+
+def _pool_run_point(point: SweepPoint) -> Tuple[Dict[str, Any], float, int]:
+    """Worker-side wrapper: run, time, and identify the worker.
+
+    Returns the result as a plain dict (the same JSON form the cache
+    stores) so the parent never depends on dataclass pickling details.
+    """
+    start = time.perf_counter()
+    result = run_point(point)
+    return result.to_dict(), time.perf_counter() - start, os.getpid()
+
+
+class SweepExecutor:
+    """Runs sweep points, in parallel when asked, cached when possible.
+
+    Args:
+        jobs: Worker processes.  ``1`` (the default) runs every point
+            in-process through the exact same :func:`run_point` the
+            workers use — the bit-identical serial fallback.
+        cache: Optional result cache consulted before running and
+            populated after; ``None`` disables caching entirely.
+        telemetry: Optional JSON-lines sink receiving one ``point``
+            record per point (in input order) and one trailing
+            ``sweep`` summary.
+        max_inflight: Upper bound on points submitted to the pool at
+            once; bounds parent-side memory on very large sweeps.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[TelemetryWriter] = None,
+        max_inflight: int = 256,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry
+        self.max_inflight = max_inflight
+
+    def run(self, points: Sequence[SweepPoint]) -> List[PointResult]:
+        """Execute every point; results come back in input order."""
+        sweep_start = time.perf_counter()
+        count = len(points)
+        results: List[Optional[PointResult]] = [None] * count
+        walls: List[float] = [0.0] * count
+        workers: List[int] = [os.getpid()] * count
+        hits: List[bool] = [False] * count
+        keys: List[str] = [point_key(p) for p in points]
+
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            if self.cache is not None:
+                lookup_start = time.perf_counter()
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = PointResult.from_dict(cached)
+                    walls[index] = time.perf_counter() - lookup_start
+                    hits[index] = True
+                    continue
+            pending.append(index)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for index in pending:
+                start = time.perf_counter()
+                result = run_point(points[index])
+                walls[index] = time.perf_counter() - start
+                results[index] = result
+                self._store(keys[index], points[index], result)
+        else:
+            self._run_pool(points, keys, pending, results, walls, workers)
+
+        self._emit_telemetry(
+            points, keys, results, walls, workers, hits, sweep_start
+        )
+        # The type narrows: every slot is filled by one of the paths.
+        return [result for result in results if result is not None]
+
+    def _run_pool(
+        self,
+        points: Sequence[SweepPoint],
+        keys: List[str],
+        pending: List[int],
+        results: List[Optional[PointResult]],
+        walls: List[float],
+        workers: List[int],
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            queue = list(pending)
+            inflight = {}
+            while queue or inflight:
+                while queue and len(inflight) < self.max_inflight:
+                    index = queue.pop(0)
+                    inflight[pool.submit(_pool_run_point, points[index])] = index
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = inflight.pop(future)
+                    payload, wall, pid = future.result()
+                    result = PointResult.from_dict(payload)
+                    results[index] = result
+                    walls[index] = wall
+                    workers[index] = pid
+                    self._store(keys[index], points[index], result)
+
+    def _store(self, key: str, point: SweepPoint, result: PointResult) -> None:
+        if self.cache is not None:
+            self.cache.put(key, result.to_dict(), point=point.describe())
+
+    def _emit_telemetry(
+        self,
+        points: Sequence[SweepPoint],
+        keys: List[str],
+        results: List[Optional[PointResult]],
+        walls: List[float],
+        workers: List[int],
+        hits: List[bool],
+        sweep_start: float,
+    ) -> None:
+        if self.telemetry is None:
+            return
+        for index, point in enumerate(points):
+            result = results[index]
+            assert result is not None
+            self.telemetry.emit(
+                point_event(
+                    key=keys[index],
+                    workload=result.workload,
+                    machine=result.machine,
+                    policy=result.policy,
+                    seed=point.seed,
+                    cache_hit=hits[index],
+                    wall_seconds=walls[index],
+                    worker=workers[index],
+                    jobs=self.jobs,
+                    makespan=result.makespan,
+                    sim_events=result.sim_events,
+                    label=point.label,
+                )
+            )
+        hit_count = sum(hits)
+        self.telemetry.emit(
+            sweep_event(
+                points=len(points),
+                cache_hits=hit_count,
+                cache_misses=len(points) - hit_count,
+                wall_seconds=time.perf_counter() - sweep_start,
+                jobs=self.jobs,
+            )
+        )

@@ -4,20 +4,36 @@ Every figure in the paper is a grid: workloads x machines x policies.
 :func:`run_suite` executes such a grid in one call and returns tidy
 rows ready for tables, CSV, or regression tracking — the harness the
 individual benchmarks are special cases of.
+
+Two entry points share the row schema:
+
+* :func:`run_suite` — the in-process API over arbitrary Python
+  factories (stateful policies, custom programs);
+* :func:`run_suite_grid` — the declarative twin over sweep-point
+  specs, executed through a
+  :class:`~repro.runtime.parallel.SweepExecutor` so grids parallelise
+  across processes and hit the result cache.  The CLI ``suite``
+  command goes through this path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, MeasurementError
+from repro.runtime.parallel import (
+    PointResult,
+    SweepExecutor,
+    SweepPoint,
+    build_machine_from_spec,
+)
 from repro.sim.machine import Machine
 from repro.sim.scheduler import SchedulingPolicy, conventional_policy
 from repro.sim.simulator import Simulator
 from repro.stream.program import StreamProgram
 
-__all__ = ["SuiteRow", "SuiteResult", "run_suite"]
+__all__ = ["SuiteRow", "SuiteResult", "run_suite", "run_suite_grid"]
 
 PolicyFactory = Callable[[Machine], SchedulingPolicy]
 ProgramFactory = Callable[[], StreamProgram]
@@ -123,6 +139,81 @@ def run_suite(
                         speedup=baseline / result.makespan,
                         selected_mtl=selected,
                         probe_fraction=result.probe_task_time_fraction(),
+                    )
+                )
+    return SuiteResult(rows=tuple(rows))
+
+
+def run_suite_grid(
+    workloads: Dict[str, Mapping[str, Any]],
+    machines: Sequence[Mapping[str, Any]],
+    policies: Dict[str, Mapping[str, Any]],
+    executor: Optional[SweepExecutor] = None,
+) -> SuiteResult:
+    """Run a declarative grid through the sweep executor.
+
+    Args:
+        workloads: Name to workload spec (see
+            :mod:`repro.runtime.parallel` for the vocabulary).
+        machines: Machine specs; names must be distinct.
+        policies: Name to policy spec.
+        executor: Executor to fan the grid out on; defaults to a
+            serial, uncached one (bit-identical to :func:`run_suite`
+            on equivalent inputs).
+
+    Every (workload, machine) cell contributes one conventional
+    baseline point plus one point per policy; the whole grid is
+    submitted as a single batch so parallelism spans cells, not just
+    policies.  Rows come back in ``workloads x machines x policies``
+    order, matching :func:`run_suite`.
+    """
+    if not workloads or not machines or not policies:
+        raise ConfigurationError("suite needs workloads, machines, and policies")
+    machine_names = [build_machine_from_spec(m).name for m in machines]
+    if len(set(machine_names)) != len(machine_names):
+        raise ConfigurationError(f"duplicate machine names: {machine_names}")
+    runner = executor if executor is not None else SweepExecutor(jobs=1)
+
+    points: List[SweepPoint] = []
+    for workload_name, workload_spec in workloads.items():
+        for machine_spec in machines:
+            points.append(
+                SweepPoint(
+                    workload=workload_spec,
+                    machine=machine_spec,
+                    policy={"kind": "conventional"},
+                    label=f"{workload_name}/baseline",
+                )
+            )
+            for policy_name, policy_spec in policies.items():
+                points.append(
+                    SweepPoint(
+                        workload=workload_spec,
+                        machine=machine_spec,
+                        policy=policy_spec,
+                        label=f"{workload_name}/{policy_name}",
+                    )
+                )
+    results = runner.run(points)
+
+    rows: List[SuiteRow] = []
+    cursor = 0
+    for workload_name in workloads:
+        for machine_name in machine_names:
+            baseline: PointResult = results[cursor]
+            cursor += 1
+            for policy_name in policies:
+                result = results[cursor]
+                cursor += 1
+                rows.append(
+                    SuiteRow(
+                        workload=workload_name,
+                        machine=machine_name,
+                        policy=policy_name,
+                        makespan=result.makespan,
+                        speedup=baseline.makespan / result.makespan,
+                        selected_mtl=result.selected_mtl,
+                        probe_fraction=result.probe_fraction,
                     )
                 )
     return SuiteResult(rows=tuple(rows))

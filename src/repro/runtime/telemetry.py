@@ -1,0 +1,155 @@
+"""Structured run telemetry for sweep executions.
+
+Every sweep point executed (or served from cache) by the
+:class:`~repro.runtime.parallel.SweepExecutor` emits one JSON object on
+its own line — the JSON-lines format that log shippers and ``jq`` both
+consume directly.  Two event kinds exist:
+
+``point``
+    One record per sweep point: the content-address of the point, the
+    human-readable workload/machine/policy names, the noise seed, wall
+    time, whether the result came from the cache, which worker process
+    produced it, and the simulated-event counts.
+
+``sweep``
+    One trailing summary per executor run: point totals, cache
+    hit/miss split, and end-to-end wall time.
+
+The schema is documented in ``docs/telemetry.md``; keep the two in
+sync.  Records are plain dicts so the writer stays usable from worker
+processes and tests without any setup.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.errors import MeasurementError
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryWriter",
+    "point_event",
+    "sweep_event",
+    "read_telemetry",
+]
+
+#: Bump when a field is renamed or its meaning changes, so downstream
+#: consumers can dispatch on ``record["schema"]``.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+def point_event(
+    key: str,
+    workload: str,
+    machine: str,
+    policy: str,
+    seed: Optional[int],
+    cache_hit: bool,
+    wall_seconds: float,
+    worker: int,
+    jobs: int,
+    makespan: float,
+    sim_events: int,
+    label: str = "",
+) -> Dict[str, Any]:
+    """Build one ``point`` telemetry record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "point",
+        "key": key,
+        "label": label,
+        "workload": workload,
+        "machine": machine,
+        "policy": policy,
+        "seed": seed,
+        "cache_hit": cache_hit,
+        "wall_seconds": wall_seconds,
+        "worker": worker,
+        "jobs": jobs,
+        "makespan": makespan,
+        "sim_events": sim_events,
+    }
+
+
+def sweep_event(
+    points: int,
+    cache_hits: int,
+    cache_misses: int,
+    wall_seconds: float,
+    jobs: int,
+) -> Dict[str, Any]:
+    """Build one ``sweep`` summary record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "sweep",
+        "points": points,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "wall_seconds": wall_seconds,
+        "jobs": jobs,
+    }
+
+
+class TelemetryWriter:
+    """Append-only JSON-lines sink.
+
+    Accepts a filesystem path (opened lazily in append mode, so several
+    sweeps can share one log) or any writable text stream (tests pass a
+    :class:`io.StringIO`).  Each :meth:`emit` writes exactly one line
+    and flushes, so a crashed run still leaves a readable prefix.
+    """
+
+    def __init__(self, sink: Union[str, pathlib.Path, TextIO]) -> None:
+        self._path: Optional[pathlib.Path] = None
+        self._stream: Optional[TextIO] = None
+        if isinstance(sink, (str, pathlib.Path)):
+            self._path = pathlib.Path(sink)
+        else:
+            self._stream = sink
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Write one record as a single JSON line."""
+        line = json.dumps(record, sort_keys=True)
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with self._path.open("a") as handle:
+                handle.write(line + "\n")
+        else:
+            assert self._stream is not None
+            self._stream.write(line + "\n")
+            if not isinstance(self._stream, io.StringIO):
+                self._stream.flush()
+
+
+def read_telemetry(
+    source: Union[str, pathlib.Path, TextIO],
+    event: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines telemetry log, optionally filtered by event.
+
+    Blank lines are skipped; a malformed line raises
+    :class:`~repro.errors.MeasurementError` naming its line number
+    (telemetry is evidence — silently dropping records would hide
+    exactly the failures it exists to expose).
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        text = pathlib.Path(source).read_text()
+    else:
+        text = source.getvalue() if isinstance(source, io.StringIO) else source.read()
+    records: List[Dict[str, Any]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise MeasurementError(
+                f"telemetry line {number} is not valid JSON: {exc}"
+            ) from exc
+        if event is None or record.get("event") == event:
+            records.append(record)
+    return records

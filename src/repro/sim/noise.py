@@ -23,7 +23,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.units import MICROSECONDS
 
-__all__ = ["NoiseModel", "ZeroNoise", "GaussianNoise"]
+__all__ = ["NoiseModel", "ZeroNoise", "GaussianNoise", "noise_for_seed"]
 
 
 @runtime_checkable
@@ -102,3 +102,22 @@ class GaussianNoise:
     def dispatch_overhead(self) -> float:
         # Exponential around the mean models lock-contention tails.
         return float(self._rng.exponential(self.overhead_seconds))
+
+
+def noise_for_seed(seed: "int | None") -> "NoiseModel | None":
+    """The canonical seed-to-noise mapping for sweep and measurement runs.
+
+    ``None`` means a noise-free run (the simulator substitutes
+    :class:`ZeroNoise`); an integer seeds a fresh, private
+    :class:`GaussianNoise` stream.  Every execution path — the serial
+    measurement protocol, the parallel sweep workers, the instrumented
+    experiment runs — derives its noise through this one function, so
+    per-point seeding has a single source of truth and no path can
+    accidentally share RNG state across runs or processes.  (There is
+    deliberately no module-level RNG anywhere in this package: each
+    :class:`GaussianNoise` owns its generator, constructed here, in the
+    process that runs the point.)
+    """
+    if seed is None:
+        return None
+    return GaussianNoise(seed=seed)

@@ -1,0 +1,207 @@
+"""Property-based tests of the Section IV-A analytical model.
+
+Hand-rolled randomized cases with fixed seeds (deterministic, no
+external dependency): each test draws a few hundred random model
+configurations and checks an *algebraic* property the paper proves,
+rather than a point value:
+
+* the idle condition of Equation 1 flips exactly at the boundary
+  ``T_mk / T_c = k / (n - k)``;
+* the all-busy and some-idle speedup formulas agree at that boundary
+  (the model is continuous across its case split);
+* the two monotonicity lemmas behind the binary search in
+  :mod:`repro.core.selection` hold for randomized ``T_mk`` curves that
+  satisfy the paper's stated preconditions (``T_mk`` grows with ``k``,
+  sub-proportionally: ``T_mb / T_m(b+1) > b / (b+1)``), and the
+  selector's decision matches a brute-force argmax of the model's
+  speedup over every MTL.
+"""
+
+import math
+import random
+
+from repro.core.model import AnalyticalModel
+from repro.core.selection import MtlSelector
+
+CASES = 300
+
+
+def random_model(rng, n_min=2, n_max=16):
+    return AnalyticalModel(core_count=rng.randint(n_min, n_max))
+
+
+def random_curve(rng, model, t_c):
+    """A random ``T_mk`` curve satisfying the paper's preconditions.
+
+    ``T_m(k+1) / T_mk`` is drawn strictly inside ``(1, (k+1)/k)``:
+    memory-task time grows with contention, but sub-proportionally to
+    the slot count (the contention-free latency component guarantees
+    this on real memory systems; Section IV-C).
+    """
+    t_m = {1: t_c * rng.uniform(0.05, 4.0)}
+    for k in range(1, model.core_count):
+        growth = rng.uniform(1.0 + 1e-6, (k + 1) / k - 1e-6)
+        t_m[k + 1] = t_m[k] * growth
+    return t_m
+
+
+class TestIdleConditionBoundary:
+    def test_flips_exactly_at_the_boundary(self):
+        rng = random.Random(1001)
+        for _ in range(CASES):
+            model = random_model(rng)
+            n = model.core_count
+            k = rng.randint(1, n - 1)
+            # A power-of-two scale keeps ``k * s`` and ``(n - k) * s``
+            # exactly representable, so ``t_mk / t_c`` rounds to the
+            # same float as ``k / (n - k)`` and the boundary case is
+            # bit-exact rather than one ulp off.
+            scale = 2.0 ** rng.randint(-20, 20)
+            boundary = k * scale
+            t_c = (n - k) * scale
+            # At the boundary the inequality is not strict: all busy.
+            assert not model.cores_idle(boundary, t_c, k)
+            # Infinitesimally above: some cores idle.
+            assert model.cores_idle(boundary * (1 + 1e-9), t_c, k)
+            # Infinitesimally below: all busy.
+            assert not model.cores_idle(boundary * (1 - 1e-9), t_c, k)
+
+    def test_mtl_n_is_never_idle(self):
+        rng = random.Random(1002)
+        for _ in range(CASES):
+            model = random_model(rng)
+            t_c = rng.uniform(0.0, 10.0)
+            t_m = rng.uniform(1e-6, 1e6)
+            if t_c == 0.0:
+                continue
+            assert not model.cores_idle(t_m, t_c, model.core_count)
+
+    def test_busy_threshold_matches_equation_1(self):
+        rng = random.Random(1003)
+        for _ in range(CASES):
+            model = random_model(rng)
+            n = model.core_count
+            k = rng.randint(1, n - 1)
+            assert model.busy_threshold(k) == k / (n - k)
+        assert math.isinf(model.busy_threshold(model.core_count))
+
+
+class TestSpeedupFormulasAgreeAtBoundary:
+    def test_case_split_is_continuous(self):
+        """Both Figure 9 formulas give the same speedup at the boundary.
+
+        With ``T_mk = T_c * k / (n - k)`` the all-busy expression
+        ``(T_mn + T_c) / (T_mk + T_c)`` and the some-idle expression
+        ``(T_mn + T_c) * k / (T_mk * n)`` are algebraically equal; the
+        implementation must agree numerically from both sides.
+        """
+        rng = random.Random(2001)
+        for _ in range(CASES):
+            model = random_model(rng)
+            n = model.core_count
+            k = rng.randint(1, n - 1)
+            t_c = rng.uniform(0.001, 10.0)
+            t_mk = t_c * k / (n - k)
+            t_mn = t_mk * rng.uniform(1.0, n / k)
+
+            busy_formula = (t_mn + t_c) / (t_mk + t_c)
+            idle_formula = (t_mn + t_c) * k / (t_mk * n)
+            assert math.isclose(busy_formula, idle_formula, rel_tol=1e-12)
+
+            just_busy = model.speedup(t_mk, t_c, k, t_mn)
+            just_idle = model.speedup(t_mk * (1 + 1e-12), t_c, k, t_mn)
+            assert math.isclose(just_busy, busy_formula, rel_tol=1e-12)
+            assert math.isclose(just_idle, just_busy, rel_tol=1e-9)
+
+    def test_speedup_is_execution_time_ratio(self):
+        rng = random.Random(2002)
+        for _ in range(CASES):
+            model = random_model(rng)
+            n = model.core_count
+            k = rng.randint(1, n)
+            t_c = rng.uniform(0.001, 10.0)
+            t_mk = rng.uniform(0.001, 10.0)
+            t_mn = max(t_mk, rng.uniform(0.001, 20.0))
+            pairs = rng.randint(1, 500)
+            ratio = model.execution_time(t_mn, t_c, n, pairs) / model.execution_time(
+                t_mk, t_c, k, pairs
+            )
+            assert math.isclose(
+                model.speedup(t_mk, t_c, k, t_mn), ratio, rel_tol=1e-12
+            )
+
+
+class TestSelectionMonotonicity:
+    def test_idle_predicate_is_monotone_over_valid_curves(self):
+        """Idle below a threshold MTL, all-busy at and above it —
+        the precondition that makes the binary search correct."""
+        rng = random.Random(3001)
+        for _ in range(CASES):
+            model = random_model(rng)
+            t_c = rng.uniform(0.001, 10.0)
+            t_m = random_curve(rng, model, t_c)
+            idle_flags = [
+                model.cores_idle(t_m[k], t_c, k)
+                for k in range(1, model.core_count + 1)
+            ]
+            # Once all-busy, never idle again: no False -> True flip.
+            for earlier, later in zip(idle_flags, idle_flags[1:]):
+                assert earlier or not later, (idle_flags, t_c, t_m)
+
+    def test_lowest_all_busy_mtl_wins_among_busy(self):
+        rng = random.Random(3002)
+        for _ in range(CASES):
+            model = random_model(rng)
+            t_c = rng.uniform(0.001, 10.0)
+            t_m = random_curve(rng, model, t_c)
+            busy = [
+                k
+                for k in range(1, model.core_count + 1)
+                if not model.cores_idle(t_m[k], t_c, k)
+            ]
+            metrics = [model.busy_selection_metric(t_m[k], t_c) for k in busy]
+            for earlier, later in zip(metrics, metrics[1:]):
+                assert earlier > later
+
+    def test_highest_some_idle_mtl_wins_among_idle(self):
+        rng = random.Random(3003)
+        for _ in range(CASES):
+            model = random_model(rng)
+            t_c = rng.uniform(0.001, 10.0)
+            t_m = random_curve(rng, model, t_c)
+            idle = [
+                k
+                for k in range(1, model.core_count + 1)
+                if model.cores_idle(t_m[k], t_c, k)
+            ]
+            metrics = [model.idle_selection_metric(t_m[k], k) for k in idle]
+            for earlier, later in zip(metrics, metrics[1:]):
+                assert earlier < later
+
+    def test_binary_search_selects_the_model_optimum(self):
+        """Driving :class:`MtlSelector` with a random valid curve lands
+        on the MTL a brute-force scan of the model's speedup picks."""
+        rng = random.Random(3004)
+        for _ in range(CASES):
+            model = random_model(rng)
+            n = model.core_count
+            t_c = rng.uniform(0.001, 10.0)
+            t_m = random_curve(rng, model, t_c)
+            t_mn = t_m[n]
+
+            selector = MtlSelector(model)
+            while (mtl := selector.next_probe()) is not None:
+                selector.provide(mtl, t_m[mtl], t_c)
+            decision = selector.decision()
+
+            best_speedup = max(
+                model.speedup(t_m[k], t_c, k, t_mn) for k in range(1, n + 1)
+            )
+            chosen = model.speedup(
+                t_m[decision.selected_mtl], t_c, decision.selected_mtl, t_mn
+            )
+            assert math.isclose(chosen, best_speedup, rel_tol=1e-12)
+
+            # The pruning pays: a binary search plus the two candidates,
+            # never the full scan the Online Exhaustive baseline does.
+            assert decision.probes_used <= math.ceil(math.log2(n)) + 2

@@ -1,0 +1,292 @@
+"""Tests for the parallel sweep executor, result cache, and telemetry."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import offline_exhaustive_search
+from repro.errors import ConfigurationError, MeasurementError
+from repro.runtime.cache import CacheStats, ResultCache, stable_hash
+from repro.runtime.experiment import compare_policies, compare_policies_grid
+from repro.runtime.parallel import (
+    PointResult,
+    SweepExecutor,
+    SweepPoint,
+    build_machine_from_spec,
+    build_policy_from_spec,
+    build_workload_from_spec,
+    point_key,
+    run_point,
+)
+from repro.runtime.suite import run_suite, run_suite_grid
+from repro.runtime.telemetry import TelemetryWriter, read_telemetry
+from repro.sim.machine import i7_860
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import Simulator
+from repro.workloads import build_workload, synthetic_from_ratio
+
+SYNTH = {"kind": "synthetic", "ratio": 0.5, "pairs": 24}
+
+
+class TestStableHash:
+    def test_key_order_does_not_matter(self):
+        a = {"x": 1, "y": {"b": 2.5, "a": [1, 2]}}
+        b = {"y": {"a": [1, 2], "b": 2.5}, "x": 1}
+        assert stable_hash(a) == stable_hash(b)
+
+    def test_value_changes_change_the_hash(self):
+        base = {"ratio": 0.5}
+        assert stable_hash(base) != stable_hash({"ratio": 0.25})
+        assert stable_hash(base) != stable_hash({"ratio": "0.5"})
+
+    def test_float_precision_is_exact(self):
+        assert stable_hash({"r": 0.1 + 0.2}) != stable_hash({"r": 0.3})
+
+    def test_non_json_values_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stable_hash({"bad": object()})
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"p": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"makespan": 1.5}, point={"p": 1})
+        assert cache.get(key) == {"makespan": 1.5}
+        assert cache.stats == CacheStats(hits=1, misses=1, stores=1)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"p": 2})
+        cache.put(key, {"makespan": 2.0})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{torn write")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_malformed_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path).get("../../etc/passwd")
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(3):
+            cache.put(stable_hash({"p": n}), {"n": n})
+        assert cache.clear() == 3
+        assert cache.get(stable_hash({"p": 0})) is None
+
+
+class TestSpecBuilders:
+    def test_registry_workload(self):
+        program = build_workload_from_spec({"kind": "registry", "name": "dft"})
+        assert program.name == build_workload("dft").name
+
+    def test_unknown_kinds_are_named(self):
+        with pytest.raises(ConfigurationError, match="workload kind"):
+            build_workload_from_spec({"kind": "nope"})
+        with pytest.raises(ConfigurationError, match="machine preset"):
+            build_machine_from_spec({"preset": "cray"})
+        with pytest.raises(ConfigurationError, match="policy kind"):
+            build_policy_from_spec({"kind": "nope"}, i7_860())
+
+    def test_missing_keys_are_named(self):
+        with pytest.raises(ConfigurationError, match="'kind'"):
+            build_workload_from_spec({})
+        with pytest.raises(ConfigurationError, match="'mtl'"):
+            build_policy_from_spec({"kind": "static"}, i7_860())
+
+    def test_machine_presets(self):
+        assert build_machine_from_spec({"preset": "i7_860"}).context_count == 4
+        power7 = build_machine_from_spec(
+            {"preset": "power7", "smt": 4, "channels": 2}
+        )
+        assert power7.context_count == 32
+
+
+class TestSweepPoint:
+    def test_label_excluded_from_key(self):
+        a = SweepPoint(workload=SYNTH, label="a")
+        b = SweepPoint(workload=SYNTH, label="b")
+        assert point_key(a) == point_key(b)
+
+    def test_seed_included_in_key(self):
+        assert point_key(SweepPoint(workload=SYNTH, seed=1)) != point_key(
+            SweepPoint(workload=SYNTH, seed=2)
+        )
+        assert point_key(SweepPoint(workload=SYNTH, seed=None)) != point_key(
+            SweepPoint(workload=SYNTH, seed=0)
+        )
+
+    def test_spec_mutation_after_construction_is_isolated(self):
+        spec = {"kind": "synthetic", "ratio": 0.5, "pairs": 24}
+        point = SweepPoint(workload=spec)
+        key = point_key(point)
+        spec["ratio"] = 4.0
+        assert point_key(point) == key
+
+    def test_result_round_trips_through_json(self):
+        result = run_point(SweepPoint(workload=SYNTH, policy={"kind": "offline"}))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert PointResult.from_dict(payload) == result
+
+
+class TestRunPoint:
+    def test_matches_direct_simulation(self):
+        point = SweepPoint(workload=SYNTH, policy={"kind": "static", "mtl": 2})
+        direct = Simulator(i7_860()).run(
+            synthetic_from_ratio(0.5, pairs=24), FixedMtlPolicy(2)
+        )
+        result = run_point(point)
+        assert result.makespan == direct.makespan
+        assert result.task_count == direct.task_count
+        assert result.selected_mtl == 2
+
+    def test_offline_matches_offline_search(self):
+        point = SweepPoint(workload=SYNTH, policy={"kind": "offline"})
+        outcome = offline_exhaustive_search(synthetic_from_ratio(0.5, pairs=24))
+        result = run_point(point)
+        assert result.selected_mtl == outcome.best_mtl
+        assert result.makespan == outcome.best.makespan
+        assert result.per_mtl_makespan == {
+            mtl: r.makespan for mtl, r in outcome.by_mtl.items()
+        }
+
+    def test_seeded_runs_are_deterministic(self):
+        point = SweepPoint(workload=SYNTH, seed=42)
+        assert run_point(point).makespan == run_point(point).makespan
+        unseeded = run_point(SweepPoint(workload=SYNTH))
+        assert run_point(point).makespan != unseeded.makespan
+
+
+class TestSweepExecutor:
+    POINTS = [
+        SweepPoint(workload={"kind": "synthetic", "ratio": r, "pairs": 16},
+                   policy={"kind": "static", "mtl": mtl})
+        for r in (0.2, 1.0)
+        for mtl in (1, 2, 4)
+    ]
+
+    def test_serial_and_parallel_results_are_identical(self):
+        serial = SweepExecutor(jobs=1).run(self.POINTS)
+        parallel = SweepExecutor(jobs=3).run(self.POINTS)
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+    def test_results_come_back_in_input_order(self):
+        results = SweepExecutor(jobs=3).run(self.POINTS)
+        assert [r.selected_mtl for r in results] == [1, 2, 4, 1, 2, 4]
+
+    def test_warm_cache_serves_every_point(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(jobs=1, cache=cache)
+        cold = executor.run(self.POINTS)
+        warm = executor.run(self.POINTS)
+        assert [r.to_dict() for r in warm] == [r.to_dict() for r in cold]
+        assert cache.stats.hits == len(self.POINTS)
+        assert cache.stats.stores == len(self.POINTS)
+
+    def test_cache_is_shared_between_serial_and_parallel(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(jobs=3, cache=cache).run(self.POINTS)
+        sink = io.StringIO()
+        SweepExecutor(
+            jobs=1, cache=cache, telemetry=TelemetryWriter(sink)
+        ).run(self.POINTS)
+        records = read_telemetry(io.StringIO(sink.getvalue()), event="point")
+        assert all(record["cache_hit"] for record in records)
+
+    def test_telemetry_schema(self):
+        sink = io.StringIO()
+        SweepExecutor(jobs=1, telemetry=TelemetryWriter(sink)).run(self.POINTS[:2])
+        points = read_telemetry(io.StringIO(sink.getvalue()), event="point")
+        assert len(points) == 2
+        for record in points:
+            for field in ("key", "workload", "machine", "policy", "seed",
+                          "cache_hit", "wall_seconds", "worker", "jobs",
+                          "makespan", "sim_events", "label"):
+                assert field in record, field
+        (summary,) = read_telemetry(io.StringIO(sink.getvalue()), event="sweep")
+        assert summary["points"] == 2
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(jobs=0)
+
+
+class TestTelemetryIO:
+    def test_file_sink_appends(self, tmp_path):
+        path = tmp_path / "t" / "log.jsonl"
+        writer = TelemetryWriter(path)
+        writer.emit({"event": "point", "n": 1})
+        writer.emit({"event": "sweep", "n": 2})
+        assert len(read_telemetry(path)) == 2
+        assert [r["n"] for r in read_telemetry(path, event="sweep")] == [2]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(MeasurementError, match="line 2"):
+            read_telemetry(path)
+
+
+class TestGridHarnesses:
+    def test_run_suite_grid_matches_run_suite(self):
+        legacy = run_suite(
+            workloads={"w": lambda: synthetic_from_ratio(0.5, pairs=16)},
+            machines=[i7_860(channels=1), i7_860(channels=2)],
+            policies={"static-1": lambda machine: FixedMtlPolicy(1)},
+        )
+        grid = run_suite_grid(
+            workloads={"w": {"kind": "synthetic", "ratio": 0.5, "pairs": 16}},
+            machines=[
+                {"preset": "i7_860", "channels": 1},
+                {"preset": "i7_860", "channels": 2},
+            ],
+            policies={"static-1": {"kind": "static", "mtl": 1}},
+        )
+        assert grid.rows == legacy.rows
+
+    def test_run_suite_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_suite_grid({}, [{"preset": "i7_860"}], {"p": {"kind": "static", "mtl": 1}})
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_suite_grid(
+                {"w": SYNTH},
+                [{"preset": "i7_860"}, {"preset": "i7_860"}],
+                {"p": {"kind": "static", "mtl": 1}},
+            )
+
+    def test_compare_grid_matches_compare_policies_noise_free(self):
+        program = synthetic_from_ratio(0.5, pairs=16)
+        legacy = compare_policies(
+            program, {"static-2": lambda: FixedMtlPolicy(2)}
+        )
+        grid = compare_policies_grid(
+            {"kind": "synthetic", "ratio": 0.5, "pairs": 16},
+            {"static-2": {"kind": "static", "mtl": 2}},
+        )
+        assert grid.baseline_makespan == legacy.baseline_makespan
+        assert grid.speedup("static-2") == legacy.speedup("static-2")
+        assert (
+            grid.outcome("static-2").selected_mtl
+            == legacy.outcome("static-2").selected_mtl
+        )
+
+    def test_compare_grid_repeated_runs_protocol(self):
+        grid = compare_policies_grid(
+            {"kind": "synthetic", "ratio": 0.5, "pairs": 16},
+            {"static-2": {"kind": "static", "mtl": 2}},
+            repeated_runs=4,
+            executor=SweepExecutor(jobs=2),
+        )
+        outcome = grid.outcome("static-2")
+        assert outcome.makespan > 0
+        assert outcome.selected_mtl == 2
+        # The repeated-run protocol is deterministic given the seeds.
+        again = compare_policies_grid(
+            {"kind": "synthetic", "ratio": 0.5, "pairs": 16},
+            {"static-2": {"kind": "static", "mtl": 2}},
+            repeated_runs=4,
+        )
+        assert again.outcome("static-2").makespan == outcome.makespan
