@@ -30,6 +30,7 @@ import pytest
 
 from _helpers import run_once, save_artifact
 from repro.analysis import format_speedup, render_table
+from repro.runtime.faults import FaultPlan
 from repro.runtime.parallel import SweepExecutor, SweepPoint
 from repro.sim.power7 import power7
 
@@ -39,6 +40,20 @@ CHANNEL_CONFIGS = [8, 2]
 #: Worker processes for the 12-point grid (6 configurations x
 #: {conventional, dynamic}); 1 keeps the serial in-process path.
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Deterministic chaos injection (CI chaos job); mirrors
+#: benchmarks/test_fig13_synthetic_sweep.py — the retry budget absorbs
+#: every injected fault, so the artifact stays bit-identical.
+FAULTS = os.environ.get("REPRO_BENCH_FAULTS")
+RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "6"))
+
+
+def bench_executor() -> SweepExecutor:
+    return SweepExecutor(
+        jobs=JOBS,
+        retries=RETRIES,
+        fault_plan=FaultPlan.parse(FAULTS) if FAULTS else None,
+    )
 
 
 def scaled_streamcluster_spec(threads: int):
@@ -73,7 +88,7 @@ def regenerate():
                         label=f"power7/{channels}ch/smt{smt}/{policy['kind']}",
                     )
                 )
-    results = SweepExecutor(jobs=JOBS).run(points)
+    results = bench_executor().run(points)
 
     out = {}
     for index, (channels, smt, n) in enumerate(configs):

@@ -24,6 +24,7 @@ from _helpers import run_once, save_artifact
 from repro.analysis import Series, ascii_chart, render_table
 from repro.core import predict_speedup_curve
 from repro.memory.contention import nehalem_ddr3_contention
+from repro.runtime.faults import FaultPlan
 from repro.runtime.parallel import SweepExecutor, SweepPoint
 from repro.units import mebibytes
 
@@ -41,7 +42,23 @@ PAIRS = 96
 #: own artifacts).
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
+#: Deterministic chaos injection for the CI chaos job, e.g.
+#: REPRO_BENCH_FAULTS="seed=11,crash=0.2,error=0.1".  The retry budget
+#: absorbs every injected fault, so the regenerated artifact stays
+#: bit-identical to the fault-free run — CI diffs it to prove that.
+FAULTS = os.environ.get("REPRO_BENCH_FAULTS")
+RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "6"))
+
 I7_LLC = {"capacity_bytes": mebibytes(8), "sharers": 4}
+
+
+def bench_executor() -> SweepExecutor:
+    """The sweep executor for this bench, chaos-enabled via env."""
+    return SweepExecutor(
+        jobs=JOBS,
+        retries=RETRIES,
+        fault_plan=FaultPlan.parse(FAULTS) if FAULTS else None,
+    )
 
 
 def sweep_points(footprint_mb: float, ratios=None):
@@ -64,7 +81,7 @@ def sweep_points(footprint_mb: float, ratios=None):
 
 def sweep(footprint_mb: float):
     """Measured best-static speedup and S-MTL per ratio."""
-    results = SweepExecutor(jobs=JOBS).run(sweep_points(footprint_mb))
+    results = bench_executor().run(sweep_points(footprint_mb))
     return [
         (ratio, result.per_mtl_makespan[4] / result.makespan, result.selected_mtl)
         for ratio, result in zip(RATIOS, results)

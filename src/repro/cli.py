@@ -21,6 +21,13 @@ processes), ``--cache-dir PATH`` (content-addressed result cache; also
 settable via ``REPRO_CACHE_DIR``), ``--no-cache``, and
 ``--telemetry PATH`` (JSON-lines run telemetry).  ``--jobs 1`` is the
 serial in-process path and produces bit-identical results.
+
+Resilience flags on the same commands: ``--timeout SECONDS`` (per-point
+budget, pool mode), ``--retries N`` (bounded retries before a point
+degrades into a structured failure), and ``--inject-faults SPEC``
+(deterministic chaos testing, e.g. ``seed=7,crash=0.2,error=0.1`` —
+see ``docs/fault_injection.md``).  A sweep with failed points still
+prints every healthy row and exits with code 3.
 """
 
 from __future__ import annotations
@@ -46,6 +53,8 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.runtime import (
+    FaultPlan,
+    PointFailure,
     ResultCache,
     SweepExecutor,
     SweepPoint,
@@ -93,6 +102,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the result cache")
         p.add_argument("--telemetry", default=None,
                        help="append JSON-lines run telemetry to PATH")
+        p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-point wall-clock budget (pool mode); a "
+                            "point exceeding it is retried")
+        p.add_argument("--retries", type=int, default=2,
+                       help="retry budget per point before it degrades "
+                            "into a structured failure (default: 2)")
+        p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic fault injection, e.g. "
+                            "'seed=7,crash=0.2,error=0.1,hang=0.05'; see "
+                            "docs/fault_injection.md")
 
     sub.add_parser("list-workloads", help="list registered workloads")
 
@@ -154,7 +173,35 @@ def _executor_from_args(args: argparse.Namespace) -> SweepExecutor:
     if cache_dir and not args.no_cache:
         cache = ResultCache(cache_dir)
     telemetry = TelemetryWriter(args.telemetry) if args.telemetry else None
-    return SweepExecutor(jobs=args.jobs, cache=cache, telemetry=telemetry)
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    )
+    return SweepExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        telemetry=telemetry,
+        timeout=args.timeout,
+        retries=args.retries,
+        fault_plan=fault_plan,
+    )
+
+
+def _report_failures(failures) -> int:
+    """Print degraded points to stderr; exit code 3 if any."""
+    if not failures:
+        return 0
+    for failure in failures:
+        print(
+            f"warning: point {failure.label or failure.key[:12]} failed "
+            f"after {failure.attempts} attempts: {failure.reason}",
+            file=sys.stderr,
+        )
+    print(
+        f"warning: {len(failures)} point(s) degraded; healthy rows above "
+        "are unaffected",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def _workload_spec_from_args(args: argparse.Namespace) -> Mapping[str, Any]:
@@ -260,7 +307,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         executor=_executor_from_args(args),
     )
     print(format_comparison(result))
-    return 0
+    return _report_failures(result.failures)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -285,6 +332,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     outcomes = _executor_from_args(args).run(points)
     rows = []
     for prediction, outcome in zip(predictions, outcomes):
+        if isinstance(outcome, PointFailure):
+            rows.append(
+                [
+                    f"{prediction.ratio:.2f}",
+                    "failed",
+                    "-",
+                    format_speedup(prediction.speedup),
+                    str(prediction.best_mtl),
+                ]
+            )
+            continue
         assert outcome.per_mtl_makespan is not None
         rows.append(
             [
@@ -300,7 +358,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ["T_m1/T_c", "measured", "S-MTL", "analytical", "model MTL"], rows
         )
     )
-    return 0
+    return _report_failures(
+        [o for o in outcomes if isinstance(o, PointFailure)]
+    )
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -324,7 +384,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         workloads, machines, policies, executor=_executor_from_args(args)
     )
     print(result.to_csv(), end="")
-    return 0
+    return _report_failures(result.failures)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -10,10 +10,13 @@
 * :mod:`repro.runtime.parallel` — the parallel sweep executor over
   declarative sweep points;
 * :mod:`repro.runtime.cache` — content-addressed on-disk result cache;
-* :mod:`repro.runtime.telemetry` — JSON-lines run telemetry.
+* :mod:`repro.runtime.telemetry` — JSON-lines run telemetry;
+* :mod:`repro.runtime.faults` — deterministic fault injection and the
+  structured :class:`~repro.runtime.faults.PointFailure` degradation.
 """
 
 from repro.runtime.cache import CacheStats, ResultCache, stable_hash
+from repro.runtime.faults import FaultPlan, PointFailure, backoff_schedule
 from repro.runtime.characterize import (
     PhaseCharacter,
     WorkloadCharacter,
@@ -42,12 +45,18 @@ from repro.runtime.parallel import (
     run_point,
 )
 from repro.runtime.suite import SuiteResult, SuiteRow, run_suite, run_suite_grid
-from repro.runtime.telemetry import TelemetryWriter, read_telemetry
+from repro.runtime.telemetry import (
+    TelemetryWriter,
+    read_telemetry,
+    validate_record,
+)
 
 __all__ = [
     "CacheStats",
     "ComparisonResult",
+    "FaultPlan",
     "PhaseCharacter",
+    "PointFailure",
     "PointResult",
     "ResultCache",
     "SuiteResult",
@@ -56,6 +65,7 @@ __all__ = [
     "SweepPoint",
     "TelemetryWriter",
     "WorkloadCharacter",
+    "backoff_schedule",
     "characterize",
     "compare_policies",
     "compare_policies_grid",
@@ -73,6 +83,7 @@ __all__ = [
     "run_suite",
     "run_suite_grid",
     "stable_hash",
+    "validate_record",
     "PolicyOutcome",
     "RepeatedMeasurement",
 ]

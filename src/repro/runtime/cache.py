@@ -11,9 +11,14 @@ under a two-level directory fan-out (``ab/abcdef....json``) to keep
 directories small on large sweeps.
 
 Writes are atomic (temp file + :func:`os.replace`) so a parallel sweep
-whose workers race to store the same key never leaves a torn file;
-corrupt or unreadable entries are treated as misses and overwritten,
-never propagated.
+whose workers race to store the same key never leaves a torn file.  A
+corrupt entry — torn write from a killed run, manual edit, wrong
+schema version — is **quarantined**: renamed to ``*.corrupt`` next to
+its slot (never silently overwritten, so the evidence survives for
+forensics), counted in :class:`CacheStats`, reported through the
+optional telemetry writer as a ``cache_quarantine`` event, and
+reported to the caller as a miss so the point simply re-runs and
+re-verifies the slot with a fresh store.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.runtime.telemetry import TelemetryWriter, cache_quarantine_event
 
 __all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "ResultCache", "stable_hash"]
 
@@ -66,11 +72,12 @@ def stable_hash(description: Dict[str, Any]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache` lifetime."""
+    """Hit/miss/store/quarantine counters for one cache lifetime."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -90,40 +97,74 @@ class ResultCache:
         directory: Cache root; created on first store.
         stats: Lookup counters, reset per instance (the *process's*
             view of the cache, not the directory's lifetime history).
+        telemetry: Optional JSON-lines sink; quarantines emit one
+            ``cache_quarantine`` record each.
     """
 
     directory: Union[str, pathlib.Path]
     stats: CacheStats = field(default_factory=CacheStats)
+    telemetry: Optional[TelemetryWriter] = None
 
     def __post_init__(self) -> None:
         self.directory = pathlib.Path(self.directory)
 
-    def _path_for(self, key: str) -> pathlib.Path:
+    def path_for(self, key: str) -> pathlib.Path:
+        """The on-disk slot of ``key`` (whether or not it exists)."""
         if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
             raise ConfigurationError(f"malformed cache key {key!r}")
         return pathlib.Path(self.directory) / key[:2] / f"{key}.json"
 
+    def _quarantine(self, key: str, path: pathlib.Path, reason: str) -> None:
+        """Isolate a corrupt entry as ``*.corrupt`` and count it."""
+        self.stats.quarantined += 1
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Last resort: an entry we can neither rename nor trust
+            # must not keep poisoning lookups.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                cache_quarantine_event(key=key, path=str(target), reason=reason)
+            )
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the stored payload for ``key``, or ``None`` on miss.
 
-        A corrupt entry (torn write from a killed run, manual edit) is
-        deleted and reported as a miss so the point simply re-runs.
+        A corrupt entry (torn write from a killed run, manual edit,
+        wrong schema version) is quarantined — renamed to
+        ``*.corrupt``, counted, telemetered — and reported as a miss
+        so the point simply re-runs and re-verifies the slot.
         """
-        path = self._path_for(key)
+        path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError:
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(key, path, "not valid JSON (torn or truncated write)")
+            return None
+        except OSError:
+            self.stats.misses += 1
             return None
         if not isinstance(payload, dict) or "result" not in payload:
             self.stats.misses += 1
+            self._quarantine(key, path, "payload is not a result object")
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            self.stats.misses += 1
+            self._quarantine(
+                key,
+                path,
+                f"schema version {payload.get('schema')!r} != "
+                f"{CACHE_SCHEMA_VERSION}",
+            )
             return None
         self.stats.hits += 1
         return payload["result"]
@@ -131,7 +172,7 @@ class ResultCache:
     def put(self, key: str, result: Dict[str, Any], point: Optional[Dict[str, Any]] = None) -> None:
         """Atomically store ``result`` (and optionally the point spec
         that produced it, for debuggability) under ``key``."""
-        path = self._path_for(key)
+        path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": CACHE_SCHEMA_VERSION, "key": key, "result": result}
         if point is not None:
@@ -152,15 +193,17 @@ class ResultCache:
         self.stats.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined ones included); returns how
+        many were removed."""
         root = pathlib.Path(self.directory)
         removed = 0
         if not root.exists():
             return 0
-        for entry in root.glob("*/*.json"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*/*.json", "*/*.json.corrupt"):
+            for entry in root.glob(pattern):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed

@@ -18,6 +18,7 @@ from repro.core.offline import offline_exhaustive_search
 from repro.core.policies import OnlineExhaustivePolicy
 from repro.core.throttle import DynamicThrottlingPolicy
 from repro.errors import MeasurementError
+from repro.runtime.faults import PointFailure
 from repro.runtime.measurement import middle_mean, measure_makespan
 from repro.runtime.parallel import PointResult, SweepExecutor, SweepPoint
 from repro.sim.machine import Machine, i7_860
@@ -53,12 +54,19 @@ class PolicyOutcome:
 
 @dataclass(frozen=True)
 class ComparisonResult:
-    """All policies' outcomes on one workload/machine combination."""
+    """All policies' outcomes on one workload/machine combination.
+
+    ``failures`` records sweep points that exhausted the executor's
+    retries (grid path only); the affected policies are absent from
+    ``outcomes`` rather than aborting the comparison.  Empty on a
+    healthy run.
+    """
 
     program_name: str
     machine_name: str
     baseline_makespan: float
     outcomes: Tuple[PolicyOutcome, ...]
+    failures: Tuple[PointFailure, ...] = ()
 
     def outcome(self, policy_name: str) -> PolicyOutcome:
         for entry in self.outcomes:
@@ -199,21 +207,24 @@ def compare_policies_grid(
                 )
             )
     results = runner.run(points)
+    failures = tuple(r for r in results if isinstance(r, PointFailure))
 
     runs_per_policy = len(seeds)
     cursor = 0
 
-    def take_measured() -> float:
+    def take_measured() -> Optional[float]:
+        """Mean measured makespan, or ``None`` if any run failed."""
         nonlocal cursor
-        makespans = [
-            results[cursor + run].makespan for run in range(runs_per_policy)
-        ]
+        window = results[cursor : cursor + runs_per_policy]
         cursor += runs_per_policy
+        if any(isinstance(r, PointFailure) for r in window):
+            return None
+        makespans = [r.makespan for r in window]
         if repeated_runs > 0:
             return middle_mean(makespans)
         return makespans[0]
 
-    def take_instrumented() -> PointResult:
+    def take_instrumented() -> Optional[PointResult]:
         nonlocal cursor
         # Noise-free mode: the measured run doubles as the instrumented
         # one (same environment, same numbers), exactly as in
@@ -221,14 +232,27 @@ def compare_policies_grid(
         if repeated_runs > 0:
             instrumented = results[cursor]
             cursor += 1
-            return instrumented
-        return results[cursor - 1]
+        else:
+            instrumented = results[cursor - 1]
+        if isinstance(instrumented, PointFailure):
+            return None
+        return instrumented
 
     baseline = take_measured()
+    if baseline is None:
+        failed = [f.label for f in failures if f.label.startswith("conventional/")]
+        raise MeasurementError(
+            "the conventional baseline failed after retries "
+            f"({failed}); no speedup can be computed"
+        )
     outcomes = []
     for name in policies:
         makespan = take_measured()
         instrumented = take_instrumented()
+        if makespan is None or instrumented is None:
+            # Degraded policy: its points are in ``failures``; the
+            # remaining policies' numbers stay bit-identical.
+            continue
         outcomes.append(
             PolicyOutcome(
                 policy_name=name,
@@ -238,12 +262,13 @@ def compare_policies_grid(
                 probe_fraction=instrumented.probe_fraction,
             )
         )
-    first = results[0]
+    first = next(r for r in results if isinstance(r, PointResult))
     return ComparisonResult(
         program_name=first.workload,
         machine_name=first.machine,
         baseline_makespan=baseline,
         outcomes=tuple(outcomes),
+        failures=failures,
     )
 
 

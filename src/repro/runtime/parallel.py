@@ -18,11 +18,27 @@ This module makes those grids first-class and executable in parallel:
   sweep summary through an optional
   :class:`~repro.runtime.telemetry.TelemetryWriter`.
 
+Resilience: the executor tolerates crashing, hanging, and
+transiently-failing workers without changing a single number.  Each
+point gets a per-point ``timeout`` (pool mode), bounded ``retries``
+with a deterministic exponential backoff schedule
+(:func:`~repro.runtime.faults.backoff_schedule`), and the worker pool
+is respawned when a dead worker breaks it
+(:class:`~concurrent.futures.process.BrokenProcessPool`).  A point
+that exhausts its retries degrades gracefully into a structured
+:class:`~repro.runtime.faults.PointFailure` carried in input order
+through the results — the sweep never aborts.  Every fault, retry,
+and degradation is emitted through the telemetry writer.  Failures
+are injected deterministically for testing via a
+:class:`~repro.runtime.faults.FaultPlan` (see
+``docs/fault_injection.md``).
+
 Determinism: results are returned in input order regardless of worker
 completion order, noise is derived per point from its seed via
 :func:`repro.sim.noise.noise_for_seed` inside the process that runs
 the point, and cache keys include the schema version, so
-``jobs=1`` / ``jobs=N`` / warm-cache replays all yield identical rows.
+``jobs=1`` / ``jobs=N`` / warm-cache replays / chaos runs under an
+exhausting-resistant retry budget all yield identical rows.
 
 Spec vocabulary (validated eagerly, offending key named):
 
@@ -49,9 +65,21 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.offline import offline_exhaustive_search
 from repro.core.policies import OnlineExhaustivePolicy
@@ -59,7 +87,24 @@ from repro.core.throttle import DynamicThrottlingPolicy
 from repro.errors import ConfigurationError, MeasurementError
 from repro.memory.cache import LastLevelCache
 from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache, stable_hash
-from repro.runtime.telemetry import TelemetryWriter, point_event, sweep_event
+from repro.runtime.faults import (
+    FAULT_CORRUPT,
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_HANG,
+    INJECTED_CRASH_EXIT_CODE,
+    FaultPlan,
+    PointFailure,
+    backoff_schedule,
+)
+from repro.runtime.telemetry import (
+    TelemetryWriter,
+    fault_event,
+    point_event,
+    point_failure_event,
+    retry_event,
+    sweep_event,
+)
 from repro.sim.machine import Machine, i7_860
 from repro.sim.noise import noise_for_seed
 from repro.sim.power7 import power7
@@ -73,6 +118,7 @@ from repro.workloads.streamcluster import StreamclusterWorkload
 __all__ = [
     "SweepPoint",
     "PointResult",
+    "PointFailure",
     "SweepExecutor",
     "point_key",
     "run_point",
@@ -81,6 +127,11 @@ __all__ = [
     "build_policy_from_spec",
 ]
 
+#: Consecutive pool breaks with no injected crash in flight tolerated
+#: before the executor gives up (a real, repeating environment
+#: failure — OOM killer, container teardown — must surface, not loop).
+_MAX_UNATTRIBUTED_POOL_BREAKS = 3
+
 
 def _require(spec: Mapping[str, Any], key: str, what: str) -> Any:
     if key not in spec:
@@ -88,33 +139,73 @@ def _require(spec: Mapping[str, Any], key: str, what: str) -> Any:
     return spec[key]
 
 
+def _as_int(value: Any, key: str, what: str) -> int:
+    """Validate an int-typed spec value, naming the offending key."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"{what} spec key {key!r} must be an int, got {value!r}"
+        )
+    return value
+
+
+def _as_float(value: Any, key: str, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{what} spec key {key!r} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def _as_str(value: Any, key: str, what: str) -> str:
+    if not isinstance(value, str):
+        raise ConfigurationError(
+            f"{what} spec key {key!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def _as_mapping(value: Any, key: str, what: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(
+            f"{what} spec key {key!r} must be an object, got {value!r}"
+        )
+    return value
+
+
 def build_workload_from_spec(spec: Mapping[str, Any]) -> StreamProgram:
     """Materialise a workload spec into a :class:`StreamProgram`."""
     kind = _require(spec, "kind", "workload")
     if kind == "registry":
-        return build_workload(str(_require(spec, "name", "workload")))
+        return build_workload(_as_str(_require(spec, "name", "workload"), "name", "workload"))
     if kind == "synthetic":
         llc = spec.get("llc")
         cache = None
         if llc is not None:
+            llc = _as_mapping(llc, "llc", "workload")
             cache = LastLevelCache(
-                capacity_bytes=int(_require(llc, "capacity_bytes", "llc")),
-                sharers=int(_require(llc, "sharers", "llc")),
+                capacity_bytes=_as_int(
+                    _require(llc, "capacity_bytes", "llc"), "capacity_bytes", "llc"
+                ),
+                sharers=_as_int(_require(llc, "sharers", "llc"), "sharers", "llc"),
             )
-        kwargs: Dict[str, Any] = {"ratio": float(_require(spec, "ratio", "workload"))}
-        if "footprint_bytes" in spec:
-            kwargs["footprint_bytes"] = int(spec["footprint_bytes"])
-        if "pairs" in spec:
-            kwargs["pairs"] = int(spec["pairs"])
+        kwargs: Dict[str, Any] = {
+            "ratio": _as_float(_require(spec, "ratio", "workload"), "ratio", "workload")
+        }
+        for key in ("footprint_bytes", "pairs"):
+            if key in spec:
+                kwargs[key] = _as_int(spec[key], key, "workload")
         return SyntheticWorkload(cache=cache, **kwargs).build()
     if kind == "streamcluster":
         kwargs = {}
         for key in ("dimension", "rounds", "pairs_per_round", "footprint_bytes"):
             if key in spec:
-                kwargs[key] = int(spec[key])
+                kwargs[key] = _as_int(spec[key], key, "workload")
         return StreamclusterWorkload(**kwargs).build()
     if kind == "spec":
-        return parse_workload_spec(dict(_require(spec, "document", "workload")))
+        document = _as_mapping(
+            _require(spec, "document", "workload"), "document", "workload"
+        )
+        return parse_workload_spec(dict(document))
     raise ConfigurationError(
         f"unknown workload kind {kind!r}; use registry | synthetic | "
         "streamcluster | spec"
@@ -128,13 +219,13 @@ def build_machine_from_spec(spec: Mapping[str, Any]) -> Machine:
         kwargs: Dict[str, Any] = {}
         for key in ("channels", "smt", "llc_capacity_bytes"):
             if key in spec:
-                kwargs[key] = int(spec[key])
+                kwargs[key] = _as_int(spec[key], key, "machine")
         return i7_860(**kwargs)
     if preset == "power7":
         kwargs = {}
         for key in ("smt", "channels"):
             if key in spec:
-                kwargs[key] = int(spec[key])
+                kwargs[key] = _as_int(spec[key], key, "machine")
         return power7(**kwargs)
     raise ConfigurationError(
         f"unknown machine preset {preset!r}; use i7_860 | power7"
@@ -155,16 +246,15 @@ def build_policy_from_spec(
     if kind == "conventional":
         return conventional_policy(n)
     if kind == "static":
-        return FixedMtlPolicy(int(_require(spec, "mtl", "policy")))
-    if kind == "dynamic":
+        return FixedMtlPolicy(_as_int(_require(spec, "mtl", "policy"), "mtl", "policy"))
+    if kind in ("dynamic", "online"):
         kwargs: Dict[str, Any] = {"context_count": n}
         if "window_pairs" in spec:
-            kwargs["window_pairs"] = int(spec["window_pairs"])
-        return DynamicThrottlingPolicy(**kwargs)
-    if kind == "online":
-        kwargs = {"context_count": n}
-        if "window_pairs" in spec:
-            kwargs["window_pairs"] = int(spec["window_pairs"])
+            kwargs["window_pairs"] = _as_int(
+                spec["window_pairs"], "window_pairs", "policy"
+            )
+        if kind == "dynamic":
+            return DynamicThrottlingPolicy(**kwargs)
         return OnlineExhaustivePolicy(**kwargs)
     raise ConfigurationError(
         f"unknown policy kind {kind!r}; use conventional | static | "
@@ -363,12 +453,28 @@ def run_point(point: SweepPoint) -> PointResult:
     )
 
 
-def _pool_run_point(point: SweepPoint) -> Tuple[Dict[str, Any], float, int]:
+def _pool_run_point(
+    point: SweepPoint,
+    inject: Optional[str] = None,
+    hang_seconds: float = 0.0,
+) -> Tuple[Dict[str, Any], float, int]:
     """Worker-side wrapper: run, time, and identify the worker.
 
     Returns the result as a plain dict (the same JSON form the cache
     stores) so the parent never depends on dataclass pickling details.
+    ``inject`` applies the fault the parent decided for this attempt:
+    an abrupt process death, a pre-run sleep, or a transient error —
+    applied *here*, in the worker, so the parent's recovery machinery
+    is exercised exactly as a real failure would.
     """
+    if inject == FAULT_CRASH:
+        os._exit(INJECTED_CRASH_EXIT_CODE)
+    if inject == FAULT_ERROR:
+        raise MeasurementError(
+            f"injected transient error for point {point.label!r}"
+        )
+    if inject == FAULT_HANG and hang_seconds > 0.0:
+        time.sleep(hang_seconds)
     start = time.perf_counter()
     result = run_point(point)
     return result.to_dict(), time.perf_counter() - start, os.getpid()
@@ -383,11 +489,25 @@ class SweepExecutor:
             workers use — the bit-identical serial fallback.
         cache: Optional result cache consulted before running and
             populated after; ``None`` disables caching entirely.
-        telemetry: Optional JSON-lines sink receiving one ``point``
-            record per point (in input order) and one trailing
-            ``sweep`` summary.
+        telemetry: Optional JSON-lines sink receiving one ``point`` or
+            ``point_failure`` record per point (in input order), live
+            ``fault``/``retry``/``cache_quarantine`` records as they
+            happen, and one trailing ``sweep`` summary.
         max_inflight: Upper bound on points submitted to the pool at
             once; bounds parent-side memory on very large sweeps.
+        timeout: Per-point wall-clock budget in seconds (pool mode
+            only — an in-process point cannot be preempted).  A point
+            exceeding it is abandoned and retried; ``None`` disables.
+        retries: Retry budget per point beyond the first attempt.  A
+            point that exhausts it becomes a
+            :class:`~repro.runtime.faults.PointFailure` in the results
+            instead of aborting the sweep.
+        backoff_base: First-retry backoff in seconds, doubled each
+            further retry (deterministic schedule, no jitter —
+            :func:`~repro.runtime.faults.backoff_schedule`).  ``0``
+            (the default) retries immediately.
+        fault_plan: Deterministic chaos injection for testing; see
+            :mod:`repro.runtime.faults`.
     """
 
     def __init__(
@@ -396,6 +516,10 @@ class SweepExecutor:
         cache: Optional[ResultCache] = None,
         telemetry: Optional[TelemetryWriter] = None,
         max_inflight: int = 256,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff_base: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -403,20 +527,47 @@ class SweepExecutor:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {backoff_base}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.telemetry = telemetry
         self.max_inflight = max_inflight
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.fault_plan = fault_plan
+        # Quarantines are part of the run's story; route them into the
+        # same log unless the cache already has its own sink.
+        if cache is not None and telemetry is not None and cache.telemetry is None:
+            cache.telemetry = telemetry
 
-    def run(self, points: Sequence[SweepPoint]) -> List[PointResult]:
-        """Execute every point; results come back in input order."""
+    def run(
+        self, points: Sequence[SweepPoint]
+    ) -> List[Union[PointResult, PointFailure]]:
+        """Execute every point; results come back in input order.
+
+        A point that exhausts its retries yields a
+        :class:`~repro.runtime.faults.PointFailure` in its slot; all
+        other slots are :class:`PointResult`.  With the default
+        configuration (no fault plan, no timeout) failures can only
+        arise from points that raise
+        :class:`~repro.errors.MeasurementError` persistently.
+        """
         sweep_start = time.perf_counter()
         count = len(points)
-        results: List[Optional[PointResult]] = [None] * count
+        results: List[Optional[Union[PointResult, PointFailure]]] = [None] * count
         walls: List[float] = [0.0] * count
         workers: List[int] = [os.getpid()] * count
         hits: List[bool] = [False] * count
         keys: List[str] = [point_key(p) for p in points]
+        counts = {"faults": 0, "retries": 0, "failures": 0}
 
         pending: List[int] = []
         for index, key in enumerate(keys):
@@ -431,66 +582,327 @@ class SweepExecutor:
             pending.append(index)
 
         if self.jobs == 1 or len(pending) <= 1:
-            for index in pending:
-                start = time.perf_counter()
-                result = run_point(points[index])
-                walls[index] = time.perf_counter() - start
-                results[index] = result
-                self._store(keys[index], points[index], result)
+            self._run_serial(points, keys, pending, results, walls, counts)
         else:
-            self._run_pool(points, keys, pending, results, walls, workers)
+            self._run_pool(points, keys, pending, results, walls, workers, counts)
 
         self._emit_telemetry(
-            points, keys, results, walls, workers, hits, sweep_start
+            points, keys, results, walls, workers, hits, sweep_start, counts
         )
         # The type narrows: every slot is filled by one of the paths.
         return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # serial path
+
+    def _run_serial(
+        self,
+        points: Sequence[SweepPoint],
+        keys: List[str],
+        pending: List[int],
+        results: List[Optional[Union[PointResult, PointFailure]]],
+        walls: List[float],
+        counts: Dict[str, int],
+    ) -> None:
+        for index in pending:
+            start = time.perf_counter()
+            outcome = self._attempt_serial(points[index], keys[index], counts)
+            walls[index] = time.perf_counter() - start
+            results[index] = outcome
+            if isinstance(outcome, PointResult):
+                self._store(keys[index], points[index], outcome, counts)
+
+    def _attempt_serial(
+        self, point: SweepPoint, key: str, counts: Dict[str, int]
+    ) -> Union[PointResult, PointFailure]:
+        """Run one point in-process with the full retry discipline.
+
+        Injected crashes and transient errors are simulated as
+        exceptions; an injected hang cannot be preempted in-process,
+        so it is converted directly into a timeout-equivalent fault —
+        no sleeping — which keeps ``jobs=1`` chaos replays fast and
+        exactly reproducible.
+        """
+        attempt = 0
+        while True:
+            fault = (
+                self.fault_plan.decide(key, attempt)
+                if self.fault_plan is not None
+                else None
+            )
+            if fault is not None:
+                self._note_fault(key, point.label, fault, attempt, counts)
+                reason = {
+                    FAULT_CRASH: "worker crashed (injected)",
+                    FAULT_HANG: "timeout (injected hang)",
+                    FAULT_ERROR: "injected transient error for point "
+                    f"{point.label!r}",
+                }[fault]
+            else:
+                try:
+                    return run_point(point)
+                except MeasurementError as exc:
+                    reason = str(exc)
+            if attempt >= self.retries:
+                counts["failures"] += 1
+                return PointFailure(
+                    label=point.label, key=key, attempts=attempt + 1, reason=reason
+                )
+            backoff = self._note_retry(key, point.label, attempt, reason, counts)
+            if backoff > 0.0:
+                time.sleep(backoff)
+            attempt += 1
+
+    # ------------------------------------------------------------------
+    # pool path
 
     def _run_pool(
         self,
         points: Sequence[SweepPoint],
         keys: List[str],
         pending: List[int],
-        results: List[Optional[PointResult]],
+        results: List[Optional[Union[PointResult, PointFailure]]],
         walls: List[float],
         workers: List[int],
+        counts: Dict[str, int],
     ) -> None:
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-            queue = list(pending)
-            inflight = {}
+        queue: Deque[int] = deque(pending)
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        not_before: Dict[int, float] = {}
+        predicted: Dict[Future, Optional[str]] = {}
+        inflight: Dict[Future, int] = {}
+        deadlines: Dict[Future, float] = {}
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        unattributed_breaks = 0
+
+        def recover(index: int, reason: str) -> None:
+            """A failed attempt: retry with backoff or degrade."""
+            attempt = attempts[index]
+            if attempt >= self.retries:
+                counts["failures"] += 1
+                results[index] = PointFailure(
+                    label=points[index].label,
+                    key=keys[index],
+                    attempts=attempt + 1,
+                    reason=reason,
+                )
+                return
+            backoff = self._note_retry(
+                keys[index], points[index].label, attempt, reason, counts
+            )
+            attempts[index] = attempt + 1
+            if backoff > 0.0:
+                not_before[index] = time.monotonic() + backoff
+            queue.append(index)
+
+        def requeue_after_break(index: int, fault: Optional[str]) -> None:
+            """Resubmit a point lost to a broken pool.
+
+            Only the point whose injected crash killed the worker
+            consumed an attempt; innocent pool-mates are resubmitted
+            for free — their loss is pool mechanics, not their fault.
+            """
+            if fault == FAULT_CRASH:
+                recover(index, "worker crashed (injected)")
+            else:
+                queue.append(index)
+
+        try:
             while queue or inflight:
+                now = time.monotonic()
                 while queue and len(inflight) < self.max_inflight:
-                    index = queue.pop(0)
-                    inflight[pool.submit(_pool_run_point, points[index])] = index
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    index = queue[0]
+                    if not_before.get(index, 0.0) > now:
+                        break
+                    queue.popleft()
+                    fault = (
+                        self.fault_plan.decide(keys[index], attempts[index])
+                        if self.fault_plan is not None
+                        else None
+                    )
+                    if fault is not None:
+                        self._note_fault(
+                            keys[index], points[index].label, fault,
+                            attempts[index], counts,
+                        )
+                    hang = (
+                        self.fault_plan.hang_seconds
+                        if self.fault_plan is not None
+                        else 0.0
+                    )
+                    future = pool.submit(
+                        _pool_run_point, points[index], fault, hang
+                    )
+                    predicted[future] = fault
+                    inflight[future] = index
+                    if self.timeout is not None:
+                        deadlines[future] = time.monotonic() + self.timeout
+
+                if not inflight:
+                    # Everything runnable is backing off; sleep to the
+                    # earliest eligible point and resume.
+                    wake = min(not_before.get(i, 0.0) for i in queue)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = (
+                        max(0.0, min(deadlines.values()) - time.monotonic()) + 0.01
+                    )
+                done, _ = wait(
+                    set(inflight), timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken = False
+                crash_predicted_inflight = any(
+                    predicted.get(f) == FAULT_CRASH for f in inflight
+                )
                 for future in done:
                     index = inflight.pop(future)
-                    payload, wall, pid = future.result()
-                    result = PointResult.from_dict(payload)
-                    results[index] = result
-                    walls[index] = wall
-                    workers[index] = pid
-                    self._store(keys[index], points[index], result)
+                    deadlines.pop(future, None)
+                    fault = predicted.pop(future, None)
+                    try:
+                        payload, wall, pid = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        requeue_after_break(index, fault)
+                    except MeasurementError as exc:
+                        recover(index, str(exc))
+                    else:
+                        result = PointResult.from_dict(payload)
+                        results[index] = result
+                        walls[index] = wall
+                        workers[index] = pid
+                        self._store(keys[index], points[index], result, counts)
 
-    def _store(self, key: str, point: SweepPoint, result: PointResult) -> None:
-        if self.cache is not None:
-            self.cache.put(key, result.to_dict(), point=point.describe())
+                if broken:
+                    if not crash_predicted_inflight:
+                        unattributed_breaks += 1
+                        if unattributed_breaks > _MAX_UNATTRIBUTED_POOL_BREAKS:
+                            raise MeasurementError(
+                                "worker pool broke "
+                                f"{unattributed_breaks} times with no "
+                                "injected crash in flight; giving up on a "
+                                "failing environment"
+                            )
+                    for future, index in list(inflight.items()):
+                        requeue_after_break(index, predicted.pop(future, None))
+                    inflight.clear()
+                    deadlines.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(self.jobs, max(1, len(queue)))
+                    )
+                elif deadlines:
+                    now = time.monotonic()
+                    overdue = [f for f, d in deadlines.items() if d <= now]
+                    if overdue:
+                        for future in overdue:
+                            index = inflight.pop(future)
+                            deadlines.pop(future, None)
+                            predicted.pop(future, None)
+                            recover(index, f"timeout after {self.timeout:g}s")
+                        # A stuck worker cannot be preempted and would
+                        # keep holding its pool slot (starving every
+                        # queued point into its own timeout), so the
+                        # whole pool is killed and respawned.  Innocent
+                        # in-flight points are resubmitted without
+                        # consuming an attempt; the rerun produces the
+                        # same bits — run_point is deterministic.
+                        for future, index in list(inflight.items()):
+                            predicted.pop(future, None)
+                            queue.append(index)
+                        inflight.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        for process in list(
+                            (getattr(pool, "_processes", None) or {}).values()
+                        ):
+                            try:
+                                process.kill()
+                            except Exception:
+                                pass
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(self.jobs, max(1, len(queue)))
+                        )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+
+    def _store(
+        self,
+        key: str,
+        point: SweepPoint,
+        result: PointResult,
+        counts: Dict[str, int],
+    ) -> None:
+        if self.cache is None:
+            return
+        self.cache.put(key, result.to_dict(), point=point.describe())
+        if self.fault_plan is not None and self.fault_plan.corrupts(key):
+            try:
+                self.cache.path_for(key).write_text('{"schema": ')
+            except OSError:
+                return
+            self._note_fault(key, point.label, FAULT_CORRUPT, 0, counts)
+
+    def _note_fault(
+        self, key: str, label: str, kind: str, attempt: int, counts: Dict[str, int]
+    ) -> None:
+        counts["faults"] += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                fault_event(
+                    key=key, label=label, kind=kind, attempt=attempt,
+                    jobs=self.jobs,
+                )
+            )
+
+    def _note_retry(
+        self, key: str, label: str, attempt: int, reason: str, counts: Dict[str, int]
+    ) -> float:
+        """Record one retry; returns its deterministic backoff."""
+        backoff = backoff_schedule(attempt, self.backoff_base)
+        counts["retries"] += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                retry_event(
+                    key=key, label=label, attempt=attempt,
+                    backoff_seconds=backoff, reason=reason, jobs=self.jobs,
+                )
+            )
+        return backoff
 
     def _emit_telemetry(
         self,
         points: Sequence[SweepPoint],
         keys: List[str],
-        results: List[Optional[PointResult]],
+        results: List[Optional[Union[PointResult, PointFailure]]],
         walls: List[float],
         workers: List[int],
         hits: List[bool],
         sweep_start: float,
+        counts: Dict[str, int],
     ) -> None:
         if self.telemetry is None:
             return
         for index, point in enumerate(points):
             result = results[index]
             assert result is not None
+            if isinstance(result, PointFailure):
+                self.telemetry.emit(
+                    point_failure_event(
+                        key=keys[index],
+                        label=result.label,
+                        attempts=result.attempts,
+                        reason=result.reason,
+                        jobs=self.jobs,
+                    )
+                )
+                continue
             self.telemetry.emit(
                 point_event(
                     key=keys[index],
@@ -515,5 +927,8 @@ class SweepExecutor:
                 cache_misses=len(points) - hit_count,
                 wall_seconds=time.perf_counter() - sweep_start,
                 jobs=self.jobs,
+                faults=counts["faults"],
+                retries=counts["retries"],
+                failures=counts["failures"],
             )
         )

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, MeasurementError
+from repro.runtime.faults import PointFailure
 from repro.runtime.parallel import (
-    PointResult,
     SweepExecutor,
     SweepPoint,
     build_machine_from_spec,
@@ -54,9 +54,18 @@ class SuiteRow:
 
 @dataclass(frozen=True)
 class SuiteResult:
-    """All rows of one suite run."""
+    """All rows of one suite run.
+
+    Attributes:
+        rows: One row per completed (workload, machine, policy) cell.
+        failures: Sweep points that exhausted their retries (see
+            :class:`~repro.runtime.faults.PointFailure`); their cells
+            are absent from ``rows`` rather than aborting the grid.
+            Empty on a healthy run.
+    """
 
     rows: Tuple[SuiteRow, ...]
+    failures: Tuple[PointFailure, ...] = ()
 
     def filter(
         self,
@@ -166,6 +175,11 @@ def run_suite_grid(
     submitted as a single batch so parallelism spans cells, not just
     policies.  Rows come back in ``workloads x machines x policies``
     order, matching :func:`run_suite`.
+
+    Degradation: a point that exhausted the executor's retries does
+    not abort the grid.  Its cell (or, for a failed baseline, every
+    cell of that workload/machine pair — speedups need the baseline)
+    is dropped from ``rows`` and recorded in ``failures``.
     """
     if not workloads or not machines or not policies:
         raise ConfigurationError("suite needs workloads, machines, and policies")
@@ -195,16 +209,21 @@ def run_suite_grid(
                     )
                 )
     results = runner.run(points)
+    failures = tuple(r for r in results if isinstance(r, PointFailure))
 
     rows: List[SuiteRow] = []
     cursor = 0
     for workload_name in workloads:
         for machine_name in machine_names:
-            baseline: PointResult = results[cursor]
+            baseline = results[cursor]
             cursor += 1
             for policy_name in policies:
                 result = results[cursor]
                 cursor += 1
+                if isinstance(baseline, PointFailure) or isinstance(
+                    result, PointFailure
+                ):
+                    continue
                 rows.append(
                     SuiteRow(
                         workload=workload_name,
@@ -216,4 +235,4 @@ def run_suite_grid(
                         probe_fraction=result.probe_fraction,
                     )
                 )
-    return SuiteResult(rows=tuple(rows))
+    return SuiteResult(rows=tuple(rows), failures=failures)

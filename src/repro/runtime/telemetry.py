@@ -3,20 +3,43 @@
 Every sweep point executed (or served from cache) by the
 :class:`~repro.runtime.parallel.SweepExecutor` emits one JSON object on
 its own line — the JSON-lines format that log shippers and ``jq`` both
-consume directly.  Two event kinds exist:
+consume directly.  Six event kinds exist:
 
 ``point``
-    One record per sweep point: the content-address of the point, the
-    human-readable workload/machine/policy names, the noise seed, wall
-    time, whether the result came from the cache, which worker process
-    produced it, and the simulated-event counts.
+    One record per successful sweep point: the content-address of the
+    point, the human-readable workload/machine/policy names, the noise
+    seed, wall time, whether the result came from the cache, which
+    worker process produced it, and the simulated-event counts.
+
+``point_failure``
+    One record per sweep point that exhausted its retries — the
+    structured degradation the executor carries in-order instead of
+    aborting the sweep.
+
+``fault``
+    One record per injected fault (worker crash, hang, transient
+    error, cache corruption) when a
+    :class:`~repro.runtime.faults.FaultPlan` is active.
+
+``retry``
+    One record per recovery action: a failed attempt (injected or
+    real — transient error, worker crash, timeout) being rescheduled,
+    with its deterministic backoff.
+
+``cache_quarantine``
+    One record per corrupt cache entry quarantined by
+    :class:`~repro.runtime.cache.ResultCache` (renamed to
+    ``*.corrupt``, never silently overwritten).
 
 ``sweep``
     One trailing summary per executor run: point totals, cache
-    hit/miss split, and end-to-end wall time.
+    hit/miss split, fault/retry/failure counts, and end-to-end wall
+    time.
 
-The schema is documented in ``docs/telemetry.md``; keep the two in
-sync.  Records are plain dicts so the writer stays usable from worker
+The schema is documented in ``docs/telemetry.md`` and mirrored
+machine-readably in :data:`EVENT_SCHEMAS`; a test parses the document
+and compares it against :data:`EVENT_SCHEMAS`, so the two cannot
+drift.  Records are plain dicts so the writer stays usable from worker
 processes and tests without any setup.
 """
 
@@ -25,21 +48,104 @@ from __future__ import annotations
 import io
 import json
 import pathlib
-from typing import Any, Dict, List, Optional, TextIO, Union
+from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
 
 from repro.errors import MeasurementError
 
 __all__ = [
     "TELEMETRY_SCHEMA_VERSION",
+    "EVENT_SCHEMAS",
     "TelemetryWriter",
     "point_event",
+    "point_failure_event",
+    "fault_event",
+    "retry_event",
+    "cache_quarantine_event",
     "sweep_event",
     "read_telemetry",
+    "validate_record",
 ]
 
 #: Bump when a field is renamed or its meaning changes, so downstream
 #: consumers can dispatch on ``record["schema"]``.
 TELEMETRY_SCHEMA_VERSION = 1
+
+#: JSON never distinguishes 3 from 3.0, so float-typed fields accept
+#: ints too; bool is excluded from numeric fields (it subclasses int).
+_STR: Tuple[type, ...] = (str,)
+_INT: Tuple[type, ...] = (int,)
+_FLOAT: Tuple[type, ...] = (float, int)
+_BOOL: Tuple[type, ...] = (bool,)
+_OPT_INT: Tuple[type, ...] = (int, type(None))
+
+#: Exact field set and types of every event kind.  ``validate_record``
+#: enforces this; ``tests/runtime/test_telemetry_schema.py`` checks it
+#: against the tables in ``docs/telemetry.md``.
+EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    "point": {
+        "schema": _INT,
+        "event": _STR,
+        "key": _STR,
+        "label": _STR,
+        "workload": _STR,
+        "machine": _STR,
+        "policy": _STR,
+        "seed": _OPT_INT,
+        "cache_hit": _BOOL,
+        "wall_seconds": _FLOAT,
+        "worker": _INT,
+        "jobs": _INT,
+        "makespan": _FLOAT,
+        "sim_events": _INT,
+    },
+    "point_failure": {
+        "schema": _INT,
+        "event": _STR,
+        "key": _STR,
+        "label": _STR,
+        "attempts": _INT,
+        "reason": _STR,
+        "jobs": _INT,
+    },
+    "fault": {
+        "schema": _INT,
+        "event": _STR,
+        "key": _STR,
+        "label": _STR,
+        "kind": _STR,
+        "attempt": _INT,
+        "jobs": _INT,
+    },
+    "retry": {
+        "schema": _INT,
+        "event": _STR,
+        "key": _STR,
+        "label": _STR,
+        "attempt": _INT,
+        "backoff_seconds": _FLOAT,
+        "reason": _STR,
+        "jobs": _INT,
+    },
+    "cache_quarantine": {
+        "schema": _INT,
+        "event": _STR,
+        "key": _STR,
+        "path": _STR,
+        "reason": _STR,
+    },
+    "sweep": {
+        "schema": _INT,
+        "event": _STR,
+        "points": _INT,
+        "cache_hits": _INT,
+        "cache_misses": _INT,
+        "faults": _INT,
+        "retries": _INT,
+        "failures": _INT,
+        "wall_seconds": _FLOAT,
+        "jobs": _INT,
+    },
+}
 
 
 def point_event(
@@ -75,12 +181,85 @@ def point_event(
     }
 
 
+def point_failure_event(
+    key: str,
+    label: str,
+    attempts: int,
+    reason: str,
+    jobs: int,
+) -> Dict[str, Any]:
+    """Build one ``point_failure`` (exhausted retries) record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "point_failure",
+        "key": key,
+        "label": label,
+        "attempts": attempts,
+        "reason": reason,
+        "jobs": jobs,
+    }
+
+
+def fault_event(
+    key: str,
+    label: str,
+    kind: str,
+    attempt: int,
+    jobs: int,
+) -> Dict[str, Any]:
+    """Build one ``fault`` (injected failure) record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "fault",
+        "key": key,
+        "label": label,
+        "kind": kind,
+        "attempt": attempt,
+        "jobs": jobs,
+    }
+
+
+def retry_event(
+    key: str,
+    label: str,
+    attempt: int,
+    backoff_seconds: float,
+    reason: str,
+    jobs: int,
+) -> Dict[str, Any]:
+    """Build one ``retry`` (recovery action) record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "retry",
+        "key": key,
+        "label": label,
+        "attempt": attempt,
+        "backoff_seconds": backoff_seconds,
+        "reason": reason,
+        "jobs": jobs,
+    }
+
+
+def cache_quarantine_event(key: str, path: str, reason: str) -> Dict[str, Any]:
+    """Build one ``cache_quarantine`` (corrupt entry isolated) record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "cache_quarantine",
+        "key": key,
+        "path": path,
+        "reason": reason,
+    }
+
+
 def sweep_event(
     points: int,
     cache_hits: int,
     cache_misses: int,
     wall_seconds: float,
     jobs: int,
+    faults: int = 0,
+    retries: int = 0,
+    failures: int = 0,
 ) -> Dict[str, Any]:
     """Build one ``sweep`` summary record."""
     return {
@@ -89,9 +268,51 @@ def sweep_event(
         "points": points,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
+        "faults": faults,
+        "retries": retries,
+        "failures": failures,
         "wall_seconds": wall_seconds,
         "jobs": jobs,
     }
+
+
+def validate_record(record: Any) -> None:
+    """Check one telemetry record against :data:`EVENT_SCHEMAS`.
+
+    Raises :class:`~repro.errors.MeasurementError` naming the event
+    kind and offending field on any mismatch: unknown event, missing
+    field, unexpected field, or wrong type.  Booleans never satisfy a
+    numeric field (``bool`` subclasses ``int`` in Python).
+    """
+    if not isinstance(record, dict):
+        raise MeasurementError(
+            f"telemetry record must be an object, got {type(record).__name__}"
+        )
+    event = record.get("event")
+    if event not in EVENT_SCHEMAS:
+        raise MeasurementError(
+            f"unknown telemetry event {event!r}; known: "
+            + ", ".join(sorted(EVENT_SCHEMAS))
+        )
+    schema = EVENT_SCHEMAS[event]
+    missing = sorted(set(schema) - set(record))
+    if missing:
+        raise MeasurementError(f"{event} record is missing fields {missing}")
+    extra = sorted(set(record) - set(schema))
+    if extra:
+        raise MeasurementError(f"{event} record has unexpected fields {extra}")
+    for field, allowed in schema.items():
+        value = record[field]
+        if isinstance(value, bool) and bool not in allowed:
+            raise MeasurementError(
+                f"{event} field {field!r} must not be a bool, got {value!r}"
+            )
+        if not isinstance(value, allowed):
+            names = "|".join(t.__name__ for t in allowed)
+            raise MeasurementError(
+                f"{event} field {field!r} must be {names}, got "
+                f"{type(value).__name__} {value!r}"
+            )
 
 
 class TelemetryWriter:

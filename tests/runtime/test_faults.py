@@ -1,0 +1,439 @@
+"""Failure-mode tests: chaos injection, retries, graceful degradation.
+
+The contract under test is the headline of the fault-injection
+subsystem: a sweep under injected worker crashes, hangs, transient
+errors, and cache corruption converges to rows **bit-identical** to
+the fault-free run — and when the retry budget is genuinely exhausted,
+the sweep degrades into structured :class:`PointFailure` slots instead
+of aborting.
+
+All chaos here is deterministic (:mod:`repro.runtime.faults` hashes
+``(seed, key, attempt)`` — no wall clock, no global RNG), so these
+tests replay exactly, including their fault telemetry.
+"""
+
+import io
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.runtime.cache import ResultCache
+from repro.runtime.experiment import compare_policies_grid
+from repro.runtime.faults import (
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_HANG,
+    FaultPlan,
+    PointFailure,
+    backoff_schedule,
+)
+from repro.runtime.parallel import (
+    PointResult,
+    SweepExecutor,
+    SweepPoint,
+    point_key,
+)
+from repro.runtime.suite import run_suite_grid
+from repro.runtime.telemetry import TelemetryWriter, read_telemetry, validate_record
+
+POINTS = [
+    SweepPoint(
+        workload={"kind": "synthetic", "ratio": ratio, "pairs": 16},
+        policy={"kind": "static", "mtl": mtl},
+        label=f"chaos/r={ratio:g}/mtl={mtl}",
+    )
+    for ratio in (0.2, 1.0)
+    for mtl in (1, 2, 4)
+]
+KEYS = [point_key(p) for p in POINTS]
+
+#: Verified against the plan below: first attempts include at least one
+#: crash and one transient error, and no point needs more than one
+#: retry (see the fixture guards in TestChaosConvergence).
+CRASH_ERROR_PLAN = FaultPlan(seed=0, crash_rate=0.2, error_rate=0.1)
+
+#: At least two of the six points hang on their first attempt; the
+#: deepest fault streak is two attempts.
+HANG_PLAN = FaultPlan(seed=1, hang_rate=0.5, hang_seconds=5.0)
+
+
+def rows(results):
+    return [r.to_dict() for r in results]
+
+
+class TestBackoffSchedule:
+    def test_doubles_and_caps(self):
+        assert backoff_schedule(0, 0.5) == 0.5
+        assert backoff_schedule(1, 0.5) == 1.0
+        assert backoff_schedule(2, 0.5) == 2.0
+        assert backoff_schedule(10, 0.5, cap=3.0) == 3.0
+
+    def test_zero_base_disables_backoff(self):
+        assert backoff_schedule(5, 0.0) == 0.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backoff_schedule(-1, 0.5)
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(seed=7, crash_rate=0.3, hang_rate=0.2, error_rate=0.1)
+        for key in KEYS:
+            for attempt in range(4):
+                assert plan.decide(key, attempt) == plan.decide(key, attempt)
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=0, crash_rate=0.5)
+        b = FaultPlan(seed=1, crash_rate=0.5)
+        decisions_a = [a.decide(k, 0) for k in KEYS]
+        decisions_b = [b.decide(k, 0) for k in KEYS]
+        assert decisions_a != decisions_b
+
+    def test_rates_partition_one_draw(self):
+        # crash takes the low end of the draw, so widening crash_rate
+        # can only convert non-crash outcomes into crashes — a fault
+        # kind never flips to a *different* fault kind.
+        narrow = FaultPlan(seed=3, crash_rate=0.1, error_rate=0.1)
+        wide = FaultPlan(seed=3, crash_rate=0.5, error_rate=0.1)
+        for key in KEYS:
+            if narrow.decide(key, 0) == FAULT_CRASH:
+                assert wide.decide(key, 0) == FAULT_CRASH
+
+    def test_zero_rates_inject_nothing(self):
+        plan = FaultPlan(seed=9)
+        assert all(plan.decide(k, a) is None for k in KEYS for a in range(3))
+        assert not any(plan.corrupts(k) for k in KEYS)
+
+    def test_corrupts_is_per_key_not_per_attempt(self):
+        plan = FaultPlan(seed=2, corrupt_rate=0.5)
+        decisions = [plan.corrupts(k) for k in KEYS]
+        assert decisions == [plan.corrupts(k) for k in KEYS]
+        assert any(decisions) and not all(decisions)
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError, match="crash_rate"):
+            FaultPlan(crash_rate=1.5)
+        with pytest.raises(ConfigurationError, match="error_rate"):
+            FaultPlan(error_rate=-0.1)
+        with pytest.raises(ConfigurationError, match="<= 1"):
+            FaultPlan(crash_rate=0.5, hang_rate=0.4, error_rate=0.2)
+        with pytest.raises(ConfigurationError, match="hang_seconds"):
+            FaultPlan(hang_seconds=0.0)
+        with pytest.raises(ConfigurationError, match="seed"):
+            FaultPlan(seed=True)
+
+    def test_parse_round_trips(self):
+        plan = FaultPlan.parse(
+            "seed=7, crash=0.2, hang=0.1, error=0.05, corrupt=0.5,"
+            " hang_seconds=3.5"
+        )
+        assert plan == FaultPlan(
+            seed=7,
+            crash_rate=0.2,
+            hang_rate=0.1,
+            error_rate=0.05,
+            corrupt_rate=0.5,
+            hang_seconds=3.5,
+        )
+        assert FaultPlan.parse("") == FaultPlan()
+
+    def test_parse_names_bad_keys(self):
+        with pytest.raises(ConfigurationError, match="'boom'"):
+            FaultPlan.parse("boom=1")
+        with pytest.raises(ConfigurationError, match="key=value"):
+            FaultPlan.parse("crash")
+        with pytest.raises(ConfigurationError, match="'crash'"):
+            FaultPlan.parse("crash=lots")
+        with pytest.raises(ConfigurationError, match="'seed'"):
+            FaultPlan.parse("seed=1.5")
+
+
+class TestChaosConvergence:
+    """The acceptance criterion: faults never change a number."""
+
+    @pytest.fixture(scope="class")
+    def fault_free(self):
+        return rows(SweepExecutor(jobs=1).run(POINTS))
+
+    def test_fixture_plans_actually_inject(self):
+        # Guard against a silent no-op: the pinned seeds must inject at
+        # least one crash, one transient error, and two hangs on first
+        # attempts, or the convergence tests below prove nothing.
+        first = [CRASH_ERROR_PLAN.decide(k, 0) for k in KEYS]
+        assert FAULT_CRASH in first and FAULT_ERROR in first
+        assert [HANG_PLAN.decide(k, 0) for k in KEYS].count(FAULT_HANG) >= 2
+
+    def test_serial_chaos_rows_bit_identical(self, fault_free):
+        sink = io.StringIO()
+        chaos = SweepExecutor(
+            jobs=1,
+            retries=5,
+            fault_plan=CRASH_ERROR_PLAN,
+            telemetry=TelemetryWriter(sink),
+        ).run(POINTS)
+        assert rows(chaos) == fault_free
+        faults = read_telemetry(io.StringIO(sink.getvalue()), event="fault")
+        retries = read_telemetry(io.StringIO(sink.getvalue()), event="retry")
+        assert faults and len(retries) == len(faults)
+        (summary,) = read_telemetry(io.StringIO(sink.getvalue()), event="sweep")
+        assert summary["faults"] == len(faults)
+        assert summary["retries"] == len(retries)
+        assert summary["failures"] == 0
+
+    def test_pool_chaos_rows_bit_identical(self, fault_free):
+        # Real crashes: workers die via os._exit, the pool breaks, the
+        # executor respawns it and retries the culprit.
+        chaos = SweepExecutor(
+            jobs=3, retries=5, fault_plan=CRASH_ERROR_PLAN
+        ).run(POINTS)
+        assert rows(chaos) == fault_free
+
+    def test_pool_hang_with_timeout_rows_bit_identical(self, fault_free):
+        # Hanging workers sleep 5 s; the 0.3 s per-point timeout
+        # abandons them and the retry produces the same bits.  The
+        # wall-time bound proves workers were abandoned, not waited out.
+        start = time.monotonic()
+        chaos = SweepExecutor(
+            jobs=3, retries=4, timeout=0.3, fault_plan=HANG_PLAN
+        ).run(POINTS)
+        elapsed = time.monotonic() - start
+        assert rows(chaos) == fault_free
+        assert elapsed < HANG_PLAN.hang_seconds
+
+    def test_serial_hang_becomes_timeout_without_sleeping(self, fault_free):
+        # In-process hangs cannot be preempted, so serial mode converts
+        # them straight into timeout-equivalent faults — no sleep.
+        sink = io.StringIO()
+        start = time.monotonic()
+        chaos = SweepExecutor(
+            jobs=1, retries=4, fault_plan=HANG_PLAN,
+            telemetry=TelemetryWriter(sink),
+        ).run(POINTS)
+        assert time.monotonic() - start < HANG_PLAN.hang_seconds
+        assert rows(chaos) == fault_free
+        retries = read_telemetry(io.StringIO(sink.getvalue()), event="retry")
+        assert any("timeout (injected hang)" in r["reason"] for r in retries)
+
+    def test_serial_chaos_telemetry_replays_identically(self):
+        def chaos_log():
+            sink = io.StringIO()
+            SweepExecutor(
+                jobs=1,
+                retries=5,
+                fault_plan=CRASH_ERROR_PLAN,
+                telemetry=TelemetryWriter(sink),
+            ).run(POINTS)
+            return [
+                (r["key"], r["kind"], r["attempt"])
+                for r in read_telemetry(io.StringIO(sink.getvalue()), event="fault")
+            ]
+
+        assert chaos_log() == chaos_log()
+
+    def test_faults_match_parent_side_predictions(self):
+        # Telemetry reports exactly the faults the plan predicts — the
+        # executor computes injections parent-side, so the record of a
+        # crash exists even though the worker died before reporting.
+        sink = io.StringIO()
+        SweepExecutor(
+            jobs=1,
+            retries=5,
+            fault_plan=CRASH_ERROR_PLAN,
+            telemetry=TelemetryWriter(sink),
+        ).run(POINTS)
+        logged = {
+            (r["key"], r["attempt"]): r["kind"]
+            for r in read_telemetry(io.StringIO(sink.getvalue()), event="fault")
+        }
+        predicted = {
+            (key, attempt): CRASH_ERROR_PLAN.decide(key, attempt)
+            for key in KEYS
+            for attempt in range(6)
+            if CRASH_ERROR_PLAN.decide(key, attempt) is not None
+            and all(
+                CRASH_ERROR_PLAN.decide(key, a) is not None
+                for a in range(attempt)
+            )
+        }
+        assert logged == predicted
+
+    def test_backoff_delays_serial_retries(self):
+        start = time.monotonic()
+        chaos = SweepExecutor(
+            jobs=1, retries=5, backoff_base=0.05, fault_plan=CRASH_ERROR_PLAN
+        ).run(POINTS)
+        assert all(isinstance(r, PointResult) for r in chaos)
+        # At least one retry happened (fixture guard), each sleeping
+        # >= backoff_base.
+        assert time.monotonic() - start >= 0.05
+
+
+class TestCorruptionChaos:
+    def test_corrupt_entries_quarantine_and_reverify(self, tmp_path):
+        plan = FaultPlan(seed=5, corrupt_rate=1.0)
+        cache = ResultCache(tmp_path)
+        sink = io.StringIO()
+        executor = SweepExecutor(
+            jobs=1, cache=cache, fault_plan=plan,
+            telemetry=TelemetryWriter(sink),
+        )
+        cold = executor.run(POINTS)
+        # Every stored entry was truncated after the store ...
+        assert len(list(tmp_path.glob("*/*.json"))) == len(POINTS)
+        warm = executor.run(POINTS)
+        # ... so the warm run quarantines them all, re-runs, and still
+        # produces identical rows.
+        assert rows(warm) == rows(cold)
+        assert cache.stats.quarantined == len(POINTS)
+        assert len(list(tmp_path.glob("*/*.json.corrupt"))) == len(POINTS)
+        quarantines = read_telemetry(
+            io.StringIO(sink.getvalue()), event="cache_quarantine"
+        )
+        assert len(quarantines) == len(POINTS)
+        for record in quarantines:
+            validate_record(record)
+
+    def test_healthy_keys_stay_cached_under_partial_corruption(self, tmp_path):
+        plan = FaultPlan(seed=2, corrupt_rate=0.5)
+        corrupted = sum(plan.corrupts(k) for k in KEYS)
+        assert 0 < corrupted < len(KEYS)  # fixture guard
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(jobs=1, cache=cache, fault_plan=plan)
+        cold = executor.run(POINTS)
+        warm = executor.run(POINTS)
+        assert rows(warm) == rows(cold)
+        assert cache.stats.quarantined == corrupted
+        assert cache.stats.hits == len(KEYS) - corrupted
+
+
+class TestGracefulDegradation:
+    ALWAYS_FAIL = FaultPlan(seed=0, error_rate=1.0)
+
+    def test_exhausted_retries_degrade_in_order(self):
+        sink = io.StringIO()
+        results = SweepExecutor(
+            jobs=1,
+            retries=1,
+            fault_plan=self.ALWAYS_FAIL,
+            telemetry=TelemetryWriter(sink),
+        ).run(POINTS)
+        assert [r.key for r in results] == KEYS
+        for result, point in zip(results, POINTS):
+            assert isinstance(result, PointFailure)
+            assert result.label == point.label
+            assert result.attempts == 2  # first try + one retry
+            assert "injected transient error" in result.reason
+        failures = read_telemetry(
+            io.StringIO(sink.getvalue()), event="point_failure"
+        )
+        assert [f["key"] for f in failures] == KEYS
+        (summary,) = read_telemetry(io.StringIO(sink.getvalue()), event="sweep")
+        assert summary["failures"] == len(POINTS)
+
+    def test_pool_degradation_matches_serial(self):
+        serial = SweepExecutor(
+            jobs=1, retries=1, fault_plan=self.ALWAYS_FAIL
+        ).run(POINTS)
+        pool = SweepExecutor(
+            jobs=3, retries=1, fault_plan=self.ALWAYS_FAIL
+        ).run(POINTS)
+        assert [r.to_dict() for r in pool] == [r.to_dict() for r in serial]
+
+    def test_partial_failure_keeps_healthy_rows_identical(self, tmp_path):
+        # retries=0 with the crash+error plan: the points faulted on
+        # attempt 0 fail, the rest must stay bit-identical.
+        doomed = {
+            k for k in KEYS if CRASH_ERROR_PLAN.decide(k, 0) is not None
+        }
+        assert doomed and len(doomed) < len(KEYS)  # fixture guard
+        fault_free = SweepExecutor(jobs=1).run(POINTS)
+        degraded = SweepExecutor(
+            jobs=1, retries=0, fault_plan=CRASH_ERROR_PLAN
+        ).run(POINTS)
+        for key, healthy, result in zip(KEYS, fault_free, degraded):
+            if key in doomed:
+                assert isinstance(result, PointFailure)
+            else:
+                assert result.to_dict() == healthy.to_dict()
+
+    def test_suite_grid_skips_failed_cells(self):
+        workloads = {"w": {"kind": "synthetic", "ratio": 0.5, "pairs": 16}}
+        machines = [{"preset": "i7_860"}]
+        policies = {"static-2": {"kind": "static", "mtl": 2}}
+        healthy = run_suite_grid(workloads, machines, policies)
+        degraded = run_suite_grid(
+            workloads,
+            machines,
+            policies,
+            executor=SweepExecutor(
+                jobs=1, retries=0, fault_plan=self.ALWAYS_FAIL
+            ),
+        )
+        assert healthy.rows and not healthy.failures
+        assert not degraded.rows
+        assert len(degraded.failures) == 2  # baseline + policy point
+
+    def test_compare_grid_failed_baseline_raises(self):
+        with pytest.raises(MeasurementError, match="conventional baseline"):
+            compare_policies_grid(
+                {"kind": "synthetic", "ratio": 0.5, "pairs": 16},
+                {"static-2": {"kind": "static", "mtl": 2}},
+                executor=SweepExecutor(
+                    jobs=1, retries=0, fault_plan=self.ALWAYS_FAIL
+                ),
+            )
+
+    def test_compare_grid_skips_failed_policy(self):
+        # Fail exactly the static-4 measurement point; the baseline and
+        # static-2 numbers must stay bit-identical to a healthy run.
+        workload = {"kind": "synthetic", "ratio": 0.5, "pairs": 16}
+        policies = {
+            "static-2": {"kind": "static", "mtl": 2},
+            "static-4": {"kind": "static", "mtl": 4},
+        }
+        doomed_key = point_key(SweepPoint(workload=workload, policy=policies["static-4"]))
+
+        healthy = compare_policies_grid(workload, policies)
+        for seed in range(200):
+            plan = FaultPlan(seed=seed, error_rate=0.35)
+            if plan.decide(doomed_key, 0) == FAULT_ERROR and all(
+                plan.decide(point_key(SweepPoint(workload=workload, policy=spec)), 0)
+                is None
+                for name, spec in [("conventional", {"kind": "conventional"})]
+                + list(policies.items())
+                if name != "static-4"
+            ):
+                break
+        else:
+            pytest.fail("no seed fails only static-4")
+
+        degraded = compare_policies_grid(
+            workload,
+            policies,
+            executor=SweepExecutor(jobs=1, retries=0, fault_plan=plan),
+        )
+        assert degraded.baseline_makespan == healthy.baseline_makespan
+        assert [o.policy_name for o in degraded.outcomes] == ["static-2"]
+        assert degraded.outcome("static-2") == healthy.outcome("static-2")
+        assert [f.label for f in degraded.failures] == ["static-4/measure"]
+
+    def test_real_persistent_errors_degrade_without_a_plan(self):
+        # A workload whose spec fails at build time raises
+        # ConfigurationError, not MeasurementError — that is a caller
+        # bug and must abort loudly, not degrade.
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(jobs=1, retries=1).run(
+                [SweepPoint(workload={"kind": "nope"})]
+            )
+
+
+class TestExecutorValidation:
+    def test_invalid_resilience_options_rejected(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            SweepExecutor(timeout=0.0)
+        with pytest.raises(ConfigurationError, match="retries"):
+            SweepExecutor(retries=-1)
+        with pytest.raises(ConfigurationError, match="backoff_base"):
+            SweepExecutor(backoff_base=-0.5)

@@ -66,16 +66,74 @@ class TestResultCache:
         assert cache.get(key) is None
         assert not path.exists()
 
+    @pytest.mark.parametrize(
+        "content, reason",
+        [
+            pytest.param('{"schema": 1, "resu', "not valid JSON", id="truncated"),
+            pytest.param("not json at all", "not valid JSON", id="bad-json"),
+            pytest.param('["a", "list"]', "not a result object", id="not-object"),
+            pytest.param(
+                '{"schema": 1, "key": "x"}', "not a result object", id="no-result"
+            ),
+            pytest.param(
+                '{"schema": 999, "result": {"makespan": 1.0}}',
+                "schema version 999",
+                id="wrong-schema-version",
+            ),
+            pytest.param(
+                '{"result": {"makespan": 1.0}}',
+                "schema version None",
+                id="missing-schema-version",
+            ),
+        ],
+    )
+    def test_corrupt_entry_is_quarantined(self, tmp_path, content, reason):
+        sink = io.StringIO()
+        cache = ResultCache(tmp_path, telemetry=TelemetryWriter(sink))
+        key = stable_hash({"p": 3})
+        cache.put(key, {"makespan": 3.0})
+        path = cache.path_for(key)
+        path.write_text(content)
+
+        assert cache.get(key) is None
+        # Evidence preserved, slot freed, counted, telemetered.
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert not path.exists()
+        assert corrupt.read_text() == content
+        assert cache.stats.quarantined == 1
+        (record,) = read_telemetry(io.StringIO(sink.getvalue()))
+        assert record["event"] == "cache_quarantine"
+        assert record["key"] == key
+        assert record["path"] == str(corrupt)
+        assert reason in record["reason"]
+
+        # The slot re-verifies: a fresh store round-trips again and the
+        # quarantined evidence is untouched.
+        cache.put(key, {"makespan": 3.0})
+        assert cache.get(key) == {"makespan": 3.0}
+        assert corrupt.exists()
+
+    def test_healthy_entries_never_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash({"p": 4})
+        cache.put(key, {"makespan": 4.0})
+        for _ in range(3):
+            assert cache.get(key) == {"makespan": 4.0}
+        assert cache.stats.quarantined == 0
+
     def test_malformed_key_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             ResultCache(tmp_path).get("../../etc/passwd")
 
-    def test_clear(self, tmp_path):
+    def test_clear_removes_quarantined_entries_too(self, tmp_path):
         cache = ResultCache(tmp_path)
         for n in range(3):
             cache.put(stable_hash({"p": n}), {"n": n})
-        assert cache.clear() == 3
-        assert cache.get(stable_hash({"p": 0})) is None
+        bad = cache.path_for(stable_hash({"p": 0}))
+        bad.write_text("{torn")
+        assert cache.get(stable_hash({"p": 0})) is None  # quarantines
+        assert cache.clear() == 3  # 2 healthy + 1 .corrupt
+        assert cache.get(stable_hash({"p": 1})) is None
 
 
 class TestSpecBuilders:

@@ -1,0 +1,161 @@
+"""Error-path tests for the declarative spec vocabulary.
+
+Every invalid workload/machine/policy spec shape must raise
+:class:`~repro.errors.ConfigurationError` whose message **names the
+offending key** — a sweep misconfiguration found three hours into a
+grid run is a bug in the harness, not the user.  The happy paths live
+in ``tests/runtime/test_parallel.py``; this file owns the rejections.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.parallel import (
+    build_machine_from_spec,
+    build_policy_from_spec,
+    build_workload_from_spec,
+)
+from repro.sim.machine import i7_860
+
+WORKLOAD_CASES = [
+    pytest.param({"kind": "registry", "name": 3}, "'name'", id="registry-name-int"),
+    pytest.param(
+        {"kind": "synthetic", "ratio": "0.5"}, "'ratio'", id="synthetic-ratio-str"
+    ),
+    pytest.param(
+        {"kind": "synthetic", "ratio": True}, "'ratio'", id="synthetic-ratio-bool"
+    ),
+    pytest.param(
+        {"kind": "synthetic", "ratio": 0.5, "pairs": 1.5},
+        "'pairs'",
+        id="synthetic-pairs-float",
+    ),
+    pytest.param(
+        {"kind": "synthetic", "ratio": 0.5, "pairs": True},
+        "'pairs'",
+        id="synthetic-pairs-bool",
+    ),
+    pytest.param(
+        {"kind": "synthetic", "ratio": 0.5, "footprint_bytes": "1MB"},
+        "'footprint_bytes'",
+        id="synthetic-footprint-str",
+    ),
+    pytest.param(
+        {"kind": "synthetic", "ratio": 0.5, "llc": 8},
+        "'llc'",
+        id="synthetic-llc-not-object",
+    ),
+    pytest.param(
+        {"kind": "synthetic", "ratio": 0.5, "llc": {"sharers": 4}},
+        "'capacity_bytes'",
+        id="synthetic-llc-missing-capacity",
+    ),
+    pytest.param(
+        {
+            "kind": "synthetic",
+            "ratio": 0.5,
+            "llc": {"capacity_bytes": 1.5e6, "sharers": 4},
+        },
+        "'capacity_bytes'",
+        id="synthetic-llc-capacity-float",
+    ),
+    pytest.param(
+        {"kind": "streamcluster", "rounds": "3"},
+        "'rounds'",
+        id="streamcluster-rounds-str",
+    ),
+    pytest.param(
+        {"kind": "streamcluster", "pairs_per_round": 2.5},
+        "'pairs_per_round'",
+        id="streamcluster-pairs-float",
+    ),
+    pytest.param(
+        {"kind": "spec", "document": "not a document"},
+        "'document'",
+        id="spec-document-str",
+    ),
+]
+
+MACHINE_CASES = [
+    pytest.param({"preset": "i7_860", "channels": "1"}, "'channels'", id="channels-str"),
+    pytest.param({"preset": "i7_860", "smt": 2.5}, "'smt'", id="smt-float"),
+    pytest.param(
+        {"preset": "i7_860", "llc_capacity_bytes": True},
+        "'llc_capacity_bytes'",
+        id="llc-capacity-bool",
+    ),
+    pytest.param({"preset": "power7", "smt": "4"}, "'smt'", id="power7-smt-str"),
+    pytest.param(
+        {"preset": "power7", "channels": 2.0}, "'channels'", id="power7-channels-float"
+    ),
+]
+
+POLICY_CASES = [
+    pytest.param({"kind": "static", "mtl": "2"}, "'mtl'", id="static-mtl-str"),
+    pytest.param({"kind": "static", "mtl": 2.0}, "'mtl'", id="static-mtl-float"),
+    pytest.param({"kind": "static", "mtl": True}, "'mtl'", id="static-mtl-bool"),
+    pytest.param(
+        {"kind": "dynamic", "window_pairs": "16"},
+        "'window_pairs'",
+        id="dynamic-window-str",
+    ),
+    pytest.param(
+        {"kind": "online", "window_pairs": 1.5},
+        "'window_pairs'",
+        id="online-window-float",
+    ),
+]
+
+
+class TestWorkloadSpecRejections:
+    @pytest.mark.parametrize("spec, named_key", WORKLOAD_CASES)
+    def test_offending_key_is_named(self, spec, named_key):
+        with pytest.raises(ConfigurationError, match=named_key):
+            build_workload_from_spec(spec)
+
+    def test_missing_kind_is_named(self):
+        with pytest.raises(ConfigurationError, match="'kind'"):
+            build_workload_from_spec({"ratio": 0.5})
+
+
+class TestMachineSpecRejections:
+    @pytest.mark.parametrize("spec, named_key", MACHINE_CASES)
+    def test_offending_key_is_named(self, spec, named_key):
+        with pytest.raises(ConfigurationError, match=named_key):
+            build_machine_from_spec(spec)
+
+
+class TestPolicySpecRejections:
+    @pytest.mark.parametrize("spec, named_key", POLICY_CASES)
+    def test_offending_key_is_named(self, spec, named_key):
+        with pytest.raises(ConfigurationError, match=named_key):
+            build_policy_from_spec(spec, i7_860())
+
+
+class TestValidSpecsStillBuild:
+    """Strict validation must not reject the documented vocabulary."""
+
+    def test_synthetic_with_llc(self):
+        program = build_workload_from_spec(
+            {
+                "kind": "synthetic",
+                "ratio": 0.5,
+                "pairs": 16,
+                "footprint_bytes": 524288,
+                "llc": {"capacity_bytes": 8388608, "sharers": 4},
+            }
+        )
+        assert program.name.startswith("synthetic")
+
+    def test_int_valued_ratio_is_a_number(self):
+        # floats accept ints (JSON does not distinguish 1 from 1.0).
+        program = build_workload_from_spec(
+            {"kind": "synthetic", "ratio": 1, "pairs": 16}
+        )
+        assert program.name.startswith("synthetic")
+
+    def test_policy_window_pairs(self):
+        policy = build_policy_from_spec(
+            {"kind": "dynamic", "window_pairs": 8}, i7_860()
+        )
+        assert policy.name

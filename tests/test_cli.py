@@ -110,3 +110,52 @@ class TestSweep:
 
     def test_invalid_sweep_errors(self, capsys):
         assert main(["sweep", "--start", "2.0", "--stop", "1.0"]) == 2
+
+
+class TestChaosOptions:
+    SWEEP = ["sweep", "--start", "0.2", "--stop", "0.4", "--step", "0.2"]
+
+    def test_chaos_sweep_output_is_bit_identical(self, capsys):
+        assert main(self.SWEEP) == 0
+        clean = capsys.readouterr().out
+        assert main(self.SWEEP + [
+            "--retries", "6",
+            "--inject-faults", "seed=1,crash=0.25,error=0.15",
+        ]) == 0
+        assert capsys.readouterr().out == clean
+
+    def test_exhausted_retries_render_failed_rows_and_exit_3(self, capsys):
+        assert main(self.SWEEP + [
+            "--retries", "0", "--inject-faults", "seed=0,error=1.0",
+        ]) == 3
+        captured = capsys.readouterr()
+        assert "failed" in captured.out
+        assert "degraded" in captured.err
+
+    def test_bad_fault_spec_errors(self, capsys):
+        assert main(self.SWEEP + ["--inject-faults", "boom=1"]) == 2
+        assert "boom" in capsys.readouterr().err
+
+    def test_compare_with_failed_policy_warns_and_exits_3(self, capsys):
+        assert main(["compare", "dft"]) == 0
+        clean_rows = [
+            line for line in capsys.readouterr().out.splitlines()
+            if "Dynamic" in line
+        ]
+        # seed=3/error=0.35 fails the Offline Exhaustive Search point
+        # of this comparison but neither the baseline nor the dynamic
+        # policy's (verified below: dynamic row unchanged, exit 3).
+        code = main(["compare", "dft", "--retries", "0",
+                     "--inject-faults", "seed=3,error=0.35"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "degraded" in captured.err
+        degraded_rows = [
+            line for line in captured.out.splitlines() if "Dynamic" in line
+        ]
+        # Column padding shifts when the failed policy's row vanishes;
+        # the numbers themselves must be identical.
+        assert [r.split() for r in degraded_rows] == [
+            r.split() for r in clean_rows
+        ]
+        assert "Offline" not in captured.out
