@@ -103,8 +103,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--telemetry", default=None,
                        help="append JSON-lines run telemetry to PATH")
         p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
-                       help="per-point wall-clock budget (pool mode); a "
-                            "point exceeding it is retried")
+                       help="per-point wall-clock budget; a point exceeding "
+                            "it is retried (at --jobs 1 it governs injected "
+                            "hangs only)")
         p.add_argument("--retries", type=int, default=2,
                        help="retry budget per point before it degrades "
                             "into a structured failure (default: 2)")

@@ -34,10 +34,15 @@ Fault kinds
     is simulated as an in-process :class:`WorkerCrash`.
 ``hang``
     The worker sleeps ``hang_seconds`` before running the point — long
-    enough to trip the executor's per-point timeout when one is set.
-    In serial mode (where an in-process hang cannot be preempted) the
-    injection is converted directly into a timeout-equivalent fault
-    without sleeping, keeping chaos replays fast and deterministic.
+    enough to trip the executor's per-point timeout when one is set,
+    in which case the attempt is abandoned and retried; with no
+    timeout (or ``hang_seconds`` below it) the worker is merely slow
+    and the point succeeds without consuming an attempt.  Serial mode
+    mirrors both outcomes without sleeping (an in-process hang cannot
+    be preempted, and sleeping would only slow the replay): a hang the
+    timeout would catch becomes a timeout-equivalent fault, any other
+    hang runs the point normally — so ``jobs=1`` and ``jobs=N`` chaos
+    runs degrade the same points.
 ``error``
     The worker raises a transient
     :class:`~repro.errors.MeasurementError`, exercising the bounded

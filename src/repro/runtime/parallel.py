@@ -495,9 +495,12 @@ class SweepExecutor:
             happen, and one trailing ``sweep`` summary.
         max_inflight: Upper bound on points submitted to the pool at
             once; bounds parent-side memory on very large sweeps.
-        timeout: Per-point wall-clock budget in seconds (pool mode
-            only — an in-process point cannot be preempted).  A point
-            exceeding it is abandoned and retried; ``None`` disables.
+        timeout: Per-point wall-clock budget in seconds.  In pool mode
+            a point exceeding it is abandoned and retried; ``None``
+            disables.  An in-process point cannot be preempted, so at
+            ``jobs=1`` the budget only governs injected hangs: a hang
+            the timeout would catch (``hang_seconds >= timeout``)
+            consumes an attempt exactly as it would in a pool worker.
         retries: Retry budget per point beyond the first attempt.  A
             point that exhausts it becomes a
             :class:`~repro.runtime.faults.PointFailure` in the results
@@ -543,10 +546,6 @@ class SweepExecutor:
         self.retries = retries
         self.backoff_base = backoff_base
         self.fault_plan = fault_plan
-        # Quarantines are part of the run's story; route them into the
-        # same log unless the cache already has its own sink.
-        if cache is not None and telemetry is not None and cache.telemetry is None:
-            cache.telemetry = telemetry
 
     def run(
         self, points: Sequence[SweepPoint]
@@ -560,6 +559,26 @@ class SweepExecutor:
         arise from points that raise
         :class:`~repro.errors.MeasurementError` persistently.
         """
+        # Quarantines are part of the run's story; route them into the
+        # same log unless the cache already has its own sink — for this
+        # run only.  The cache is caller-owned and possibly shared:
+        # it must come back exactly as it went in.
+        routed = (
+            self.cache is not None
+            and self.telemetry is not None
+            and self.cache.telemetry is None
+        )
+        if routed:
+            self.cache.telemetry = self.telemetry
+        try:
+            return self._run(points)
+        finally:
+            if routed:
+                self.cache.telemetry = None
+
+    def _run(
+        self, points: Sequence[SweepPoint]
+    ) -> List[Union[PointResult, PointFailure]]:
         sweep_start = time.perf_counter()
         count = len(points)
         results: List[Optional[Union[PointResult, PointFailure]]] = [None] * count
@@ -618,10 +637,15 @@ class SweepExecutor:
         """Run one point in-process with the full retry discipline.
 
         Injected crashes and transient errors are simulated as
-        exceptions; an injected hang cannot be preempted in-process,
-        so it is converted directly into a timeout-equivalent fault —
-        no sleeping — which keeps ``jobs=1`` chaos replays fast and
-        exactly reproducible.
+        exceptions.  An injected hang mirrors what the pool would do
+        with it: when the executor's ``timeout`` would catch it
+        (``hang_seconds >= timeout``) it becomes a timeout-equivalent
+        failed attempt — without sleeping, since an in-process hang
+        could never be preempted and sleeping would only slow the
+        replay — and otherwise the worker would simply have been slow
+        and succeeded, so the point runs normally (again without
+        sleeping) and no retry is consumed.  Either way ``jobs=1`` and
+        ``jobs=N`` chaos runs degrade the same points.
         """
         attempt = 0
         while True:
@@ -632,6 +656,12 @@ class SweepExecutor:
             )
             if fault is not None:
                 self._note_fault(key, point.label, fault, attempt, counts)
+            if fault == FAULT_HANG and not (
+                self.timeout is not None
+                and self.fault_plan.hang_seconds >= self.timeout
+            ):
+                fault = None  # slow but recovering: the pool would wait it out
+            if fault is not None:
                 reason = {
                     FAULT_CRASH: "worker crashed (injected)",
                     FAULT_HANG: "timeout (injected hang)",
@@ -672,7 +702,8 @@ class SweepExecutor:
         predicted: Dict[Future, Optional[str]] = {}
         inflight: Dict[Future, int] = {}
         deadlines: Dict[Future, float] = {}
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        capacity = min(self.jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=capacity)
         unattributed_breaks = 0
 
         def recover(index: int, reason: str) -> None:
@@ -710,11 +741,33 @@ class SweepExecutor:
         try:
             while queue or inflight:
                 now = time.monotonic()
-                while queue and len(inflight) < self.max_inflight:
-                    index = queue[0]
-                    if not_before.get(index, 0.0) > now:
+                # With a timeout, a submitted point's deadline starts
+                # ticking immediately — so never submit more points
+                # than the pool has workers, or a point queued behind
+                # a slow worker burns its budget (and its attempts)
+                # without ever starting.
+                limit = (
+                    self.max_inflight
+                    if self.timeout is None
+                    else min(self.max_inflight, capacity)
+                )
+                while queue and len(inflight) < limit:
+                    # Backing-off points must not block eligible ones
+                    # queued behind them: submit the first *eligible*
+                    # point, not the head.
+                    slot = next(
+                        (
+                            offset
+                            for offset, candidate in enumerate(queue)
+                            if not_before.get(candidate, 0.0) <= now
+                        ),
+                        None,
+                    )
+                    if slot is None:
                         break
-                    queue.popleft()
+                    index = queue[slot]
+                    del queue[slot]
+                    not_before.pop(index, None)
                     fault = (
                         self.fault_plan.decide(keys[index], attempts[index])
                         if self.fault_plan is not None
@@ -739,9 +792,10 @@ class SweepExecutor:
                         deadlines[future] = time.monotonic() + self.timeout
 
                 if not inflight:
-                    # Everything runnable is backing off; sleep to the
-                    # earliest eligible point and resume.
-                    wake = min(not_before.get(i, 0.0) for i in queue)
+                    # The submit scan found nothing eligible, so every
+                    # queued point is backing off; sleep until the
+                    # earliest becomes eligible and resume.
+                    wake = min(not_before[i] for i in queue if i in not_before)
                     time.sleep(max(0.0, wake - time.monotonic()))
                     continue
 
@@ -776,6 +830,12 @@ class SweepExecutor:
                         walls[index] = wall
                         workers[index] = pid
                         self._store(keys[index], points[index], result, counts)
+                        # A completed point proves the (possibly
+                        # respawned) pool works: the strike counter
+                        # tracks *consecutive* breaks, so occasional
+                        # breaks hours apart on a long sweep never
+                        # accumulate into a spurious abort.
+                        unattributed_breaks = 0
 
                 if broken:
                     if not crash_predicted_inflight:
@@ -792,9 +852,8 @@ class SweepExecutor:
                     inflight.clear()
                     deadlines.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(
-                        max_workers=min(self.jobs, max(1, len(queue)))
-                    )
+                    capacity = min(self.jobs, max(1, len(queue)))
+                    pool = ProcessPoolExecutor(max_workers=capacity)
                 elif deadlines:
                     now = time.monotonic()
                     overdue = [f for f, d in deadlines.items() if d <= now]
@@ -802,19 +861,28 @@ class SweepExecutor:
                         for future in overdue:
                             index = inflight.pop(future)
                             deadlines.pop(future, None)
-                            predicted.pop(future, None)
-                            recover(index, f"timeout after {self.timeout:g}s")
+                            fault = predicted.pop(future, None)
+                            recover(
+                                index,
+                                "timeout (injected hang)"
+                                if fault == FAULT_HANG
+                                else f"timeout after {self.timeout:g}s",
+                            )
                         # A stuck worker cannot be preempted and would
                         # keep holding its pool slot (starving every
                         # queued point into its own timeout), so the
                         # whole pool is killed and respawned.  Innocent
                         # in-flight points are resubmitted without
                         # consuming an attempt; the rerun produces the
-                        # same bits — run_point is deterministic.
+                        # same bits — run_point is deterministic.  Their
+                        # abandoned futures' deadlines go with them: a
+                        # stale deadline expiring later would look like
+                        # an overdue future that is no longer in flight.
                         for future, index in list(inflight.items()):
                             predicted.pop(future, None)
                             queue.append(index)
                         inflight.clear()
+                        deadlines.clear()
                         pool.shutdown(wait=False, cancel_futures=True)
                         for process in list(
                             (getattr(pool, "_processes", None) or {}).values()
@@ -823,9 +891,8 @@ class SweepExecutor:
                                 process.kill()
                             except Exception:
                                 pass
-                        pool = ProcessPoolExecutor(
-                            max_workers=min(self.jobs, max(1, len(queue)))
-                        )
+                        capacity = min(self.jobs, max(1, len(queue)))
+                        pool = ProcessPoolExecutor(max_workers=capacity)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 

@@ -57,6 +57,12 @@ CRASH_ERROR_PLAN = FaultPlan(seed=0, crash_rate=0.2, error_rate=0.1)
 #: deepest fault streak is two attempts.
 HANG_PLAN = FaultPlan(seed=1, hang_rate=0.5, hang_seconds=5.0)
 
+#: Hang-heavy: four of the six points hang on their first attempt and
+#: the deepest streak is four attempts, so a timed-out pool is rebuilt
+#: several times with innocent points in flight each round (see the
+#: fixture guard in the stale-deadline regression test).
+REPEATED_HANG_PLAN = FaultPlan(seed=0, hang_rate=0.7, hang_seconds=5.0)
+
 
 def rows(results):
     return [r.to_dict() for r in results]
@@ -204,17 +210,68 @@ class TestChaosConvergence:
 
     def test_serial_hang_becomes_timeout_without_sleeping(self, fault_free):
         # In-process hangs cannot be preempted, so serial mode converts
-        # them straight into timeout-equivalent faults — no sleep.
+        # a hang the timeout would catch (hang_seconds >= timeout)
+        # straight into a timeout-equivalent fault — no sleep.
         sink = io.StringIO()
         start = time.monotonic()
         chaos = SweepExecutor(
-            jobs=1, retries=4, fault_plan=HANG_PLAN,
+            jobs=1, retries=4, timeout=0.3, fault_plan=HANG_PLAN,
             telemetry=TelemetryWriter(sink),
         ).run(POINTS)
         assert time.monotonic() - start < HANG_PLAN.hang_seconds
         assert rows(chaos) == fault_free
         retries = read_telemetry(io.StringIO(sink.getvalue()), event="retry")
         assert any("timeout (injected hang)" in r["reason"] for r in retries)
+
+    def test_hang_without_timeout_recovers_without_retry(self, fault_free):
+        # With no timeout a hanging worker is slow, not dead: pool mode
+        # waits it out, serial mode runs the point directly (without
+        # sleeping), and neither consumes a retry — so retries=0 must
+        # still succeed in both modes with identical rows.
+        plan = FaultPlan(seed=1, hang_rate=0.5, hang_seconds=0.05)
+        sink = io.StringIO()
+        serial = SweepExecutor(
+            jobs=1, retries=0, fault_plan=plan, telemetry=TelemetryWriter(sink)
+        ).run(POINTS)
+        assert rows(serial) == fault_free
+        faults = read_telemetry(io.StringIO(sink.getvalue()), event="fault")
+        assert any(f["kind"] == FAULT_HANG for f in faults)
+        assert not read_telemetry(io.StringIO(sink.getvalue()), event="retry")
+        pool = SweepExecutor(jobs=3, retries=0, fault_plan=plan).run(POINTS)
+        assert rows(pool) == fault_free
+
+    def test_repeated_timeouts_with_innocent_inflight_never_abort(
+        self, fault_free
+    ):
+        # Several consecutive timeout rounds, each abandoning a pool
+        # with innocent points still in flight: the abandoned futures'
+        # deadlines must die with the pool, or a stale deadline
+        # expiring in a later round looks like an overdue future that
+        # is no longer in flight and aborts the sweep.
+        streaks = []
+        for key in KEYS:
+            streak = 0
+            while REPEATED_HANG_PLAN.decide(key, streak) == FAULT_HANG:
+                streak += 1
+            streaks.append(streak)
+        # Fixture guard: most points hang on their first attempt (so
+        # every timeout round has innocent co-in-flight points) and the
+        # deepest streak spans several rounds.
+        assert sum(1 for s in streaks if s >= 1) >= 3
+        assert 3 <= max(streaks) <= 6
+        chaos = SweepExecutor(
+            jobs=3, retries=6, timeout=0.25, fault_plan=REPEATED_HANG_PLAN
+        ).run(POINTS)
+        assert rows(chaos) == fault_free
+
+    def test_pool_backoff_chaos_rows_bit_identical(self, fault_free):
+        # Backing-off points must not block eligible points queued
+        # behind them: the scheduler submits the first *eligible*
+        # point, and the sweep still converges to identical rows.
+        chaos = SweepExecutor(
+            jobs=3, retries=5, backoff_base=0.05, fault_plan=CRASH_ERROR_PLAN
+        ).run(POINTS)
+        assert rows(chaos) == fault_free
 
     def test_serial_chaos_telemetry_replays_identically(self):
         def chaos_log():
@@ -294,6 +351,24 @@ class TestCorruptionChaos:
         assert len(quarantines) == len(POINTS)
         for record in quarantines:
             validate_record(record)
+
+    def test_run_leaves_caller_owned_cache_unmutated(self, tmp_path):
+        # The executor routes quarantine events into its own telemetry
+        # sink for the duration of a run only: a shared ResultCache
+        # must come back exactly as it went in, not left wired to a
+        # discarded executor's sink — and a cache that brought its own
+        # sink keeps it.
+        cache = ResultCache(tmp_path / "borrowed")
+        SweepExecutor(
+            jobs=1, cache=cache, telemetry=TelemetryWriter(io.StringIO())
+        ).run(POINTS)
+        assert cache.telemetry is None
+        own = TelemetryWriter(io.StringIO())
+        owned = ResultCache(tmp_path / "owned", telemetry=own)
+        SweepExecutor(
+            jobs=1, cache=owned, telemetry=TelemetryWriter(io.StringIO())
+        ).run(POINTS)
+        assert owned.telemetry is own
 
     def test_healthy_keys_stay_cached_under_partial_corruption(self, tmp_path):
         plan = FaultPlan(seed=2, corrupt_rate=0.5)
