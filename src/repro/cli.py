@@ -8,7 +8,9 @@ without writing Python:
 * ``run WORKLOAD`` — simulate under a policy and report speedup,
   selected MTL, and optionally the schedule gantt;
 * ``compare WORKLOAD`` — the Figure 14 three-policy comparison;
-* ``sweep`` — a miniature Figure 13 synthetic sweep.
+* ``sweep`` — a miniature Figure 13 synthetic sweep;
+* ``perfbench`` — engine performance microbenchmarks writing
+  ``BENCH_sim.json`` (see ``docs/performance.md``).
 
 Workloads are named as in the paper (``dft``, ``SC_d128``, ``SIFT``)
 or loaded from a JSON spec via ``--spec`` (see
@@ -162,6 +164,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workload names (default: the Figure 14 trio)",
     )
     add_executor_options(suite)
+
+    perfbench = sub.add_parser(
+        "perfbench",
+        help="engine performance microbenchmarks (writes BENCH_sim.json)",
+    )
+    perfbench.add_argument("--quick", action="store_true",
+                           help="smaller grids/rep counts (the CI perf job)")
+    perfbench.add_argument("--profile", action="store_true",
+                           help="cProfile the engine benchmark and report "
+                                "the top functions by cumulative time")
+    perfbench.add_argument("--output", default=None, metavar="PATH",
+                           help="report destination (default: BENCH_sim.json; "
+                                "'-' prints JSON to stdout only)")
+    perfbench.add_argument("--baseline", default=None, metavar="PATH",
+                           help="perf baseline for before/after speedups and "
+                                "--check (default: benchmarks/perf/"
+                                "baseline.json)")
+    perfbench.add_argument("--check", action="store_true",
+                           help="exit 4 if engine events/sec regressed >30%% "
+                                "against the baseline's current block")
+    perfbench.add_argument("--telemetry", default=None, metavar="PATH",
+                           help="append snapshot_cache/profile telemetry "
+                                "to PATH")
     return parser
 
 
@@ -388,6 +413,42 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return _report_failures(result.failures)
 
 
+def _cmd_perfbench(args: argparse.Namespace) -> int:
+    from repro.runtime.perfbench import (
+        DEFAULT_BASELINE_PATH,
+        DEFAULT_OUTPUT_PATH,
+        check_against_baseline,
+        format_report,
+        run_perfbench,
+    )
+
+    telemetry = TelemetryWriter(args.telemetry) if args.telemetry else None
+    baseline_path = args.baseline or DEFAULT_BASELINE_PATH
+    report = run_perfbench(
+        quick=args.quick,
+        profile=args.profile,
+        baseline_path=baseline_path,
+        telemetry=telemetry,
+    )
+    output = args.output or DEFAULT_OUTPUT_PATH
+    if output == "-":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(format_report(report))
+        print(f"\nreport written to {output}")
+    if args.check:
+        failures = check_against_baseline(report, report.get("baseline"))
+        for failure in failures:
+            print(f"perf check failed: {failure}", file=sys.stderr)
+        if failures:
+            return 4
+        print("perf check passed")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -407,6 +468,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "suite":
             return _cmd_suite(args)
+        if args.command == "perfbench":
+            return _cmd_perfbench(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,441 @@
+"""Performance microbenchmarks for the simulation engine.
+
+``python -m repro perfbench`` measures four layers and writes
+``BENCH_sim.json`` at the repository root (see ``docs/performance.md``
+for how to read it):
+
+* **equilibrium** — solves/sec of :func:`effective_concurrency` on a
+  pure memory population, three ways: the damped iteration
+  (``fast_path=False``, byte-for-byte the seed algorithm), the pure
+  closed-form fast path, and the memoized
+  :class:`~repro.memory.equilibrium.EquilibriumSolver` hit path the
+  engine actually rides.  The iterative number doubles as the honest
+  "before", since that code path is unchanged.
+* **engine** — end-to-end simulated events/sec of one Figure 13 point
+  (offline search, four static-MTL runs), plus the snapshot/equilibrium
+  cache hit rates of a direct simulator run (emitted as
+  ``snapshot_cache`` telemetry when ``--telemetry`` is given).
+* **fig13** — wall-clock of the Figure 13 synthetic sweep at
+  ``jobs=1`` (``--quick`` runs a 16-ratio subset; per-point wall makes
+  the two comparable).
+* **fig14** — wall-clock of one Figure 14 point (``dft`` under the
+  dynamic policy).
+
+Numbers for the seed engine live in ``benchmarks/perf/baseline.json``
+(``"seed"`` block); the report derives before/after speedups from it.
+``--check`` compares measured engine events/sec against the baseline's
+``"current"`` block and fails on a >30 % regression — the CI tripwire
+that protects the optimization.  ``--profile`` wraps the engine
+benchmark in :mod:`cProfile` and reports the top functions by
+cumulative time (also as ``profile`` telemetry events).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import gc
+import json
+import pathlib
+import pstats
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import MeasurementError
+from repro.memory.equilibrium import (
+    EquilibriumSolver,
+    MemoryDemand,
+    demand_signature,
+    effective_concurrency,
+)
+from repro.runtime.parallel import (
+    SweepExecutor,
+    SweepPoint,
+    build_workload_from_spec,
+    run_point,
+)
+from repro.runtime.telemetry import (
+    TelemetryWriter,
+    profile_event,
+    snapshot_cache_event,
+)
+from repro.sim.machine import i7_860
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import Simulator
+from repro.units import mebibytes
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_OUTPUT_PATH",
+    "run_perfbench",
+    "check_against_baseline",
+    "format_report",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_OUTPUT_PATH = "BENCH_sim.json"
+DEFAULT_BASELINE_PATH = "benchmarks/perf/baseline.json"
+
+#: Allowed events/sec regression before ``--check`` fails (the CI gate).
+REGRESSION_TOLERANCE = 0.30
+
+#: The fig13 grid (mirrors benchmarks/test_fig13_synthetic_sweep.py).
+_FIG13_RATIOS = [round(0.05 * i, 2) for i in range(1, 81)]
+_FIG13_PAIRS = 96
+_FIG13_FOOTPRINT_MB = 0.5
+_I7_LLC = {"capacity_bytes": mebibytes(8), "sharers": 4}
+
+#: Pure population size for the equilibrium microbenchmark.  Large
+#: enough (64 contexts — two POWER7 sockets of 8 cores x 4 SMT) that
+#: the iterative path's per-solve cost is dominated by real work, not
+#: loop setup.
+_EQ_POPULATION = 64
+
+
+def _fig13_point(ratio: float) -> SweepPoint:
+    return SweepPoint(
+        workload={
+            "kind": "synthetic",
+            "ratio": ratio,
+            "footprint_bytes": mebibytes(_FIG13_FOOTPRINT_MB),
+            "pairs": _FIG13_PAIRS,
+            "llc": _I7_LLC,
+        },
+        policy={"kind": "offline"},
+        label=f"perfbench/fig13/r={ratio:.2f}",
+    )
+
+
+def _time(fn: Callable[[], Any], reps: int) -> float:
+    """Wall-clock seconds for ``reps`` calls of ``fn``."""
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter() - start
+
+
+def _bench_equilibrium(quick: bool) -> Dict[str, Any]:
+    """Solves/sec of the three equilibrium paths on fixed populations."""
+    machine = i7_860()
+    latency_fn = machine.memory.request_latency
+    pure = [MemoryDemand(0.0, 1.0) for _ in range(_EQ_POPULATION)]
+    mixed = [
+        MemoryDemand(0.0 if i % 2 else 1e-3, 0.5 + 0.01 * i)
+        for i in range(_EQ_POPULATION)
+    ]
+    reps = 2_000 if quick else 20_000
+    mixed_reps = 500 if quick else 2_000
+
+    iterative = _time(
+        lambda: effective_concurrency(pure, latency_fn, fast_path=False), reps
+    )
+    fast = _time(lambda: effective_concurrency(pure, latency_fn), reps)
+
+    solver = EquilibriumSolver(latency_fn)
+    key = demand_signature(pure)
+    solver.solve(pure, key=key)  # warm the memo: measure the hit path
+    memoized = _time(lambda: solver.solve(pure, key=key), reps)
+
+    mixed_iterative = _time(
+        lambda: effective_concurrency(mixed, latency_fn, fast_path=False),
+        mixed_reps,
+    )
+    mixed_key = demand_signature(mixed)
+    solver.solve(mixed, key=mixed_key)
+    mixed_memoized = _time(
+        lambda: solver.solve(mixed, key=mixed_key), mixed_reps
+    )
+
+    return {
+        "population": _EQ_POPULATION,
+        "pure_iterative_solves_per_sec": reps / iterative,
+        "pure_fast_path_solves_per_sec": reps / fast,
+        "pure_memoized_solves_per_sec": reps / memoized,
+        "pure_fast_path_speedup": iterative / fast,
+        "pure_memoized_speedup": iterative / memoized,
+        "mixed_iterative_solves_per_sec": mixed_reps / mixed_iterative,
+        "mixed_memoized_solves_per_sec": mixed_reps / mixed_memoized,
+        "mixed_memoized_speedup": mixed_iterative / mixed_memoized,
+    }
+
+
+def _bench_engine(quick: bool) -> Dict[str, Any]:
+    """End-to-end events/sec of one fig13 point, plus cache hit rates."""
+    point = _fig13_point(1.0)
+    reps = 5 if quick else 20
+    events = 0
+    start = time.perf_counter()
+    for _ in range(reps):
+        events += run_point(point).sim_events
+    wall = time.perf_counter() - start
+
+    # Direct run of the same workload for cache-effectiveness stats
+    # (run_point hides its simulator, so instrument one explicitly).
+    machine = i7_860()
+    program = build_workload_from_spec(dict(point.workload))
+    graph = program.to_task_graph()
+    simulator = Simulator(machine)
+    for mtl in range(1, machine.context_count + 1):
+        simulator.run_graph(graph, FixedMtlPolicy(mtl), program.name)
+    snapshot_stats = simulator.rate_calculator.cache_info()
+    eq = machine.memory.equilibrium_solver()
+
+    return {
+        "reps": reps,
+        "wall_seconds": wall,
+        "events": events,
+        "events_per_sec": events / wall,
+        "snapshot_cache": snapshot_stats,
+        "equilibrium_cache": {
+            "hits": eq.hits,
+            "misses": eq.misses,
+            "entries": len(eq),
+        },
+    }
+
+
+def _bench_fig13(quick: bool) -> Dict[str, Any]:
+    """Wall-clock of the fig13 sweep at jobs=1 (quick: 16-ratio subset)."""
+    ratios = _FIG13_RATIOS[4::5] if quick else _FIG13_RATIOS
+    points = [_fig13_point(ratio) for ratio in ratios]
+    executor = SweepExecutor(jobs=1)
+    start = time.perf_counter()
+    results = executor.run(points)
+    wall = time.perf_counter() - start
+    events = sum(result.sim_events for result in results)
+    return {
+        "points": len(points),
+        "pairs": _FIG13_PAIRS,
+        "footprint_mb": _FIG13_FOOTPRINT_MB,
+        "wall_seconds": wall,
+        "wall_seconds_per_point": wall / len(points),
+        "events": events,
+        "events_per_sec": events / wall,
+    }
+
+
+def _bench_fig14(quick: bool) -> Dict[str, Any]:
+    """Wall-clock of one fig14 point: dft under the dynamic policy."""
+    point = SweepPoint(
+        workload={"kind": "registry", "name": "dft"},
+        policy={"kind": "dynamic"},
+        label="perfbench/fig14/dft-dynamic",
+    )
+    reps = 10 if quick else 50
+    events = 0
+    start = time.perf_counter()
+    for _ in range(reps):
+        events += run_point(point).sim_events
+    wall = time.perf_counter() - start
+    return {
+        "reps": reps,
+        "wall_seconds_per_point": wall / reps,
+        "events": events // reps,
+    }
+
+
+def _profile_engine(quick: bool, top_n: int = 10) -> List[Dict[str, Any]]:
+    """cProfile the engine benchmark; top ``top_n`` by cumulative time."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _bench_engine(quick)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, Any]] = []
+    for rank, func in enumerate(stats.fcn_list[:top_n], start=1):
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        location = pathlib.Path(filename).name if filename != "~" else "~"
+        rows.append(
+            {
+                "rank": rank,
+                "function": f"{location}:{line}({name})",
+                "calls": nc,
+                "cumulative_seconds": ct,
+                "total_seconds": tt,
+            }
+        )
+    return rows
+
+
+def _load_baseline(path: Optional[str]) -> Optional[Dict[str, Any]]:
+    if path is None:
+        return None
+    baseline_path = pathlib.Path(path)
+    if not baseline_path.exists():
+        return None
+    try:
+        payload = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise MeasurementError(
+            f"perf baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise MeasurementError(f"perf baseline {path} must be a JSON object")
+    return payload
+
+
+def _speedups(
+    report: Dict[str, Any], baseline: Optional[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Before/after ratios against the baseline's seed measurements."""
+    speedups: Dict[str, Any] = {
+        # Same-run, same-hardware ratio: memo hit vs the unchanged
+        # iterative algorithm.
+        "equilibrium_pure_memoized_vs_iterative": report["equilibrium"][
+            "pure_memoized_speedup"
+        ],
+    }
+    seed = (baseline or {}).get("seed")
+    if isinstance(seed, dict):
+        per_point = seed.get("fig13_wall_seconds_per_point")
+        if per_point:
+            speedups["fig13_wall_vs_seed"] = (
+                per_point / report["fig13"]["wall_seconds_per_point"]
+            )
+        seed_eps = seed.get("engine_events_per_sec")
+        if seed_eps:
+            speedups["engine_events_per_sec_vs_seed"] = (
+                report["engine"]["events_per_sec"] / seed_eps
+            )
+        seed_fig14 = seed.get("fig14_point_wall_seconds")
+        if seed_fig14:
+            speedups["fig14_point_vs_seed"] = (
+                seed_fig14 / report["fig14"]["wall_seconds_per_point"]
+            )
+    return speedups
+
+
+def check_against_baseline(
+    report: Dict[str, Any], baseline: Optional[Dict[str, Any]]
+) -> List[str]:
+    """Regression check for CI; returns failure messages (empty = pass).
+
+    Compares measured engine events/sec against the baseline's
+    ``current`` block with :data:`REGRESSION_TOLERANCE` headroom.
+    """
+    if baseline is None:
+        return ["no baseline file found; cannot check for regressions"]
+    current = baseline.get("current")
+    if not isinstance(current, dict) or not current.get("engine_events_per_sec"):
+        return ["baseline has no current.engine_events_per_sec to check against"]
+    floor = (1.0 - REGRESSION_TOLERANCE) * float(
+        current["engine_events_per_sec"]
+    )
+    measured = report["engine"]["events_per_sec"]
+    if measured < floor:
+        return [
+            f"engine events/sec regressed: measured {measured:.0f} < "
+            f"{floor:.0f} (70% of baseline "
+            f"{float(current['engine_events_per_sec']):.0f})"
+        ]
+    return []
+
+
+def run_perfbench(
+    quick: bool = False,
+    profile: bool = False,
+    baseline_path: Optional[str] = DEFAULT_BASELINE_PATH,
+    telemetry: Optional[TelemetryWriter] = None,
+) -> Dict[str, Any]:
+    """Run every benchmark section and assemble the report dict."""
+    baseline = _load_baseline(baseline_path)
+    report: Dict[str, Any] = {"schema": BENCH_SCHEMA_VERSION, "quick": quick}
+    # Collect between sections so one section's garbage does not tax the
+    # next one's measurement (gen-2 scans walk everything still alive).
+    for name, bench in (
+        ("fig13", _bench_fig13),
+        ("fig14", _bench_fig14),
+        ("engine", _bench_engine),
+        ("equilibrium", _bench_equilibrium),
+    ):
+        gc.collect()
+        report[name] = bench(quick)
+    if profile:
+        report["profile"] = _profile_engine(quick)
+    if baseline is not None:
+        report["baseline"] = baseline
+    report["speedups"] = _speedups(report, baseline)
+
+    if telemetry is not None:
+        engine = report["engine"]
+        for cache_name, stats in (
+            ("rate_snapshot", engine["snapshot_cache"]),
+            ("equilibrium", engine["equilibrium_cache"]),
+        ):
+            telemetry.emit(
+                snapshot_cache_event(
+                    cache=cache_name,
+                    label="perfbench/engine",
+                    hits=stats["hits"],
+                    misses=stats["misses"],
+                    entries=stats["entries"],
+                )
+            )
+        for row in report.get("profile", []):
+            telemetry.emit(
+                profile_event(
+                    label="perfbench/engine",
+                    function=row["function"],
+                    rank=row["rank"],
+                    calls=row["calls"],
+                    cumulative_seconds=row["cumulative_seconds"],
+                    total_seconds=row["total_seconds"],
+                )
+            )
+    return report
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a perfbench report."""
+    eq = report["equilibrium"]
+    engine = report["engine"]
+    fig13 = report["fig13"]
+    fig14 = report["fig14"]
+    lines = [
+        f"perfbench ({'quick' if report['quick'] else 'full'} mode)",
+        "",
+        f"equilibrium (pure population of {eq['population']}):",
+        f"  iterative  {eq['pure_iterative_solves_per_sec']:>12,.0f} solves/s",
+        f"  fast path  {eq['pure_fast_path_solves_per_sec']:>12,.0f} solves/s"
+        f"  ({eq['pure_fast_path_speedup']:.1f}x)",
+        f"  memoized   {eq['pure_memoized_solves_per_sec']:>12,.0f} solves/s"
+        f"  ({eq['pure_memoized_speedup']:.1f}x)",
+        "",
+        f"engine: {engine['events_per_sec']:,.0f} events/s "
+        f"({engine['events']} events in {engine['wall_seconds']:.3f}s)",
+        f"  snapshot cache: {engine['snapshot_cache']['hits']} hits / "
+        f"{engine['snapshot_cache']['misses']} misses",
+        f"  equilibrium cache: {engine['equilibrium_cache']['hits']} hits / "
+        f"{engine['equilibrium_cache']['misses']} misses",
+        "",
+        f"fig13 sweep (jobs=1, {fig13['points']} points): "
+        f"{fig13['wall_seconds']:.3f}s "
+        f"({1000 * fig13['wall_seconds_per_point']:.2f} ms/point)",
+        f"fig14 point (dft, dynamic): "
+        f"{1000 * fig14['wall_seconds_per_point']:.2f} ms",
+    ]
+    speedups = report.get("speedups", {})
+    shown = {
+        "fig13_wall_vs_seed": "fig13 wall vs seed",
+        "engine_events_per_sec_vs_seed": "engine events/s vs seed",
+        "fig14_point_vs_seed": "fig14 point vs seed",
+        "equilibrium_pure_memoized_vs_iterative": "equilibrium memo vs iterative",
+    }
+    if speedups:
+        lines.append("")
+        lines.append("speedups:")
+        for key, title in shown.items():
+            if key in speedups:
+                lines.append(f"  {title}: {speedups[key]:.2f}x")
+    for row in report.get("profile", []):
+        if row["rank"] == 1:
+            lines.append("")
+            lines.append("profile (top by cumulative time):")
+        lines.append(
+            f"  #{row['rank']:<2} {row['cumulative_seconds']:.3f}s "
+            f"{row['function']} ({row['calls']} calls)"
+        )
+    return "\n".join(lines)

@@ -3,7 +3,7 @@
 Every sweep point executed (or served from cache) by the
 :class:`~repro.runtime.parallel.SweepExecutor` emits one JSON object on
 its own line — the JSON-lines format that log shippers and ``jq`` both
-consume directly.  Six event kinds exist:
+consume directly.  Eight event kinds exist:
 
 ``point``
     One record per successful sweep point: the content-address of the
@@ -36,6 +36,17 @@ consume directly.  Six event kinds exist:
     hit/miss split, fault/retry/failure counts, and end-to-end wall
     time.
 
+``snapshot_cache``
+    One record per simulation run (emitted by the perf benchmarks):
+    hit/miss counters and hit rate of one engine cache — the rate
+    calculator's snapshot memo or the memory system's equilibrium
+    memo (see ``docs/performance.md``).
+
+``profile``
+    One record per hot function when ``perfbench --profile`` is
+    active: its rank in the cProfile top-N plus call counts and
+    cumulative/total seconds.
+
 The schema is documented in ``docs/telemetry.md`` and mirrored
 machine-readably in :data:`EVENT_SCHEMAS`; a test parses the document
 and compares it against :data:`EVENT_SCHEMAS`, so the two cannot
@@ -62,6 +73,8 @@ __all__ = [
     "retry_event",
     "cache_quarantine_event",
     "sweep_event",
+    "snapshot_cache_event",
+    "profile_event",
     "read_telemetry",
     "validate_record",
 ]
@@ -144,6 +157,26 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "failures": _INT,
         "wall_seconds": _FLOAT,
         "jobs": _INT,
+    },
+    "snapshot_cache": {
+        "schema": _INT,
+        "event": _STR,
+        "cache": _STR,
+        "label": _STR,
+        "hits": _INT,
+        "misses": _INT,
+        "hit_rate": _FLOAT,
+        "entries": _INT,
+    },
+    "profile": {
+        "schema": _INT,
+        "event": _STR,
+        "label": _STR,
+        "function": _STR,
+        "rank": _INT,
+        "calls": _INT,
+        "cumulative_seconds": _FLOAT,
+        "total_seconds": _FLOAT,
     },
 }
 
@@ -273,6 +306,52 @@ def sweep_event(
         "failures": failures,
         "wall_seconds": wall_seconds,
         "jobs": jobs,
+    }
+
+
+def snapshot_cache_event(
+    cache: str,
+    label: str,
+    hits: int,
+    misses: int,
+    entries: int,
+) -> Dict[str, Any]:
+    """Build one ``snapshot_cache`` (engine cache effectiveness) record.
+
+    ``hit_rate`` is derived here (0.0 when the cache was never
+    consulted) so every consumer computes it the same way.
+    """
+    lookups = hits + misses
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "snapshot_cache",
+        "cache": cache,
+        "label": label,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+        "entries": entries,
+    }
+
+
+def profile_event(
+    label: str,
+    function: str,
+    rank: int,
+    calls: int,
+    cumulative_seconds: float,
+    total_seconds: float,
+) -> Dict[str, Any]:
+    """Build one ``profile`` (cProfile top-N row) record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "profile",
+        "label": label,
+        "function": function,
+        "rank": rank,
+        "calls": calls,
+        "cumulative_seconds": cumulative_seconds,
+        "total_seconds": total_seconds,
     }
 
 

@@ -16,12 +16,24 @@ For a population of ``k`` pure memory tasks and any number of miss-free
 compute tasks this reduces exactly to the paper's model: each memory
 task retires one request per ``L(k)`` and each compute task runs at
 full speed, so ``T_mk = requests * L(k)`` and ``T_c`` is MTL-invariant.
+
+Hot-path structure (see ``docs/performance.md``): a snapshot is a pure
+function of the population's *signature* — per task, its context, its
+core, whether it is in the pure-CPU dispatch-overhead phase, and its
+per-unit demand.  :class:`RateCalculator` therefore memoizes whole
+:class:`RateSnapshot` objects keyed by the ordered signature tuple; an
+unchanged population (the overwhelmingly common case across a sweep's
+event pairs) costs one dict lookup instead of an equilibrium solve.
+Each :class:`RunningTask` pre-computes both of its signature entries at
+dispatch, so phase transitions and MTL changes need no explicit cache
+invalidation: they change the population's signature, which simply
+selects a different memo slot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, Tuple
 
 from repro.errors import SimulationError
 from repro.memory.equilibrium import MemoryDemand
@@ -32,24 +44,88 @@ from repro.stream.task import Task
 __all__ = ["RunningTask", "RateSnapshot", "RateCalculator"]
 
 
-@dataclass
 class RunningTask:
-    """Mutable execution state of one dispatched task."""
+    """Mutable execution state of one dispatched task.
 
-    task: Task
-    context_id: int
-    core_id: int
-    start: float
-    remaining_units: float
-    overhead_remaining: float
-    mtl_at_dispatch: int
-    probe: bool = False
+    A plain ``__slots__`` class (not a dataclass): the event loop reads
+    these attributes every event, and slots keep that access — and the
+    per-dispatch allocation — cheap.  The derived fields (``demand``,
+    ``total_units`` and the signature entries) are computed once at
+    construction: the task is frozen, so they can never go stale.
+    """
+
+    __slots__ = (
+        "task",
+        "context_id",
+        "core_id",
+        "start",
+        "remaining_units",
+        "overhead_remaining",
+        "mtl_at_dispatch",
+        "probe",
+        "demand",
+        "total_units",
+        "_sig_work",
+        "_sig_overhead",
+    )
+
+    def __init__(
+        self,
+        task: Task,
+        context_id: int,
+        core_id: int,
+        start: float,
+        remaining_units: float,
+        overhead_remaining: float,
+        mtl_at_dispatch: int,
+        probe: bool = False,
+    ) -> None:
+        self.task = task
+        self.context_id = context_id
+        self.core_id = core_id
+        self.start = start
+        self.remaining_units = remaining_units
+        self.overhead_remaining = overhead_remaining
+        self.mtl_at_dispatch = mtl_at_dispatch
+        self.probe = probe
+        #: Per-work-unit demand, derived once from the (frozen) task.
+        self.demand = task.demand()
+        #: ``task.work_units``, cached for the per-event completion check.
+        self.total_units = task.work_units
+        # Signature entries for the two phases.  During the overhead
+        # phase the task is pure CPU: its demand never reaches the
+        # memory system and its speed is pinned to 0, so the entry
+        # deliberately omits the demand — overhead tasks with different
+        # demands produce identical snapshots.
+        self._sig_work = (
+            context_id,
+            core_id,
+            False,
+            self.demand.cpu_seconds_per_unit,
+            self.demand.requests_per_unit,
+        )
+        self._sig_overhead = (context_id, core_id, True)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningTask(task={self.task.task_id!r}, "
+            f"context_id={self.context_id}, core_id={self.core_id}, "
+            f"start={self.start}, remaining_units={self.remaining_units}, "
+            f"overhead_remaining={self.overhead_remaining}, "
+            f"mtl_at_dispatch={self.mtl_at_dispatch}, probe={self.probe})"
+        )
 
     @property
     def in_overhead_phase(self) -> bool:
         """Dispatch overhead (dequeue, locking) is consumed as pure CPU
         time before the task's real work begins."""
         return self.overhead_remaining > 0.0
+
+    def signature(self) -> Tuple:
+        """This task's contribution to the population signature."""
+        if self.overhead_remaining > 0.0:
+            return self._sig_overhead
+        return self._sig_work
 
 
 @dataclass(frozen=True)
@@ -72,22 +148,79 @@ class RateSnapshot:
 
 
 class RateCalculator:
-    """Computes progress rates for a running-task population."""
+    """Computes progress rates for a running-task population.
 
-    def __init__(self, processor: Processor, memory: MemorySystem) -> None:
+    Snapshots are memoized by population signature (see the module
+    docstring); :meth:`snapshot` is the memoized entry point the
+    simulator uses, :meth:`compute_snapshot` the always-cold path the
+    memoization property tests compare against.  ``hits`` / ``misses``
+    feed the ``snapshot_cache`` telemetry events.
+    """
+
+    def __init__(
+        self,
+        processor: Processor,
+        memory: MemorySystem,
+        max_entries: int = 65536,
+    ) -> None:
+        if max_entries < 1:
+            raise SimulationError(f"max_entries must be >= 1, got {max_entries}")
         self._processor = processor
         self._memory = memory
+        self._max_entries = max_entries
+        self._memo: Dict[Tuple, RateSnapshot] = {}
+        self.hits = 0
+        self.misses = 0
 
-    def snapshot(self, running: Sequence[RunningTask]) -> RateSnapshot:
-        """Rates, latency, and concurrency for the current population."""
+    def cache_info(self) -> Dict[str, int]:
+        """Lookup counters and table size, for telemetry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memo),
+        }
+
+    def snapshot(self, running: Iterable[RunningTask]) -> RateSnapshot:
+        """Rates, latency, and concurrency for the current population.
+
+        Memoized: a population whose signature was seen before returns
+        the previously computed (frozen, shareable) snapshot object.
+        """
+        if not isinstance(running, (list, tuple)):
+            running = list(running)
+        # Inline signature() — this runs once per task per event.
+        key = tuple(
+            [
+                rt._sig_overhead if rt.overhead_remaining > 0.0 else rt._sig_work
+                for rt in running
+            ]
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        snap = self.compute_snapshot(running)
+        if len(self._memo) >= self._max_entries:
+            # Populations recur in tight cycles; overflowing the table
+            # means the working set outgrew it — start over rather than
+            # track recency on the per-event path.
+            self._memo.clear()
+        self._memo[key] = snap
+        return snap
+
+    def compute_snapshot(self, running: Iterable[RunningTask]) -> RateSnapshot:
+        """The cold path: compute a snapshot without touching the memo."""
+        if not isinstance(running, (list, tuple)):
+            running = list(running)
         cpu_rates = self._cpu_rates(running)
 
-        demands: List[MemoryDemand] = []
+        demands = []
         for rt in running:
-            if rt.in_overhead_phase:
+            if rt.overhead_remaining > 0.0:
                 # Overhead is pure CPU; no memory demand yet.
                 continue
-            demand = rt.task.demand()
+            demand = rt.demand
             rate = cpu_rates[rt.context_id]
             demands.append(
                 MemoryDemand(
@@ -99,10 +232,10 @@ class RateCalculator:
 
         speeds: Dict[int, float] = {}
         for rt in running:
-            if rt.in_overhead_phase:
+            if rt.overhead_remaining > 0.0:
                 speeds[rt.context_id] = 0.0  # work phase not started
                 continue
-            demand = rt.task.demand()
+            demand = rt.demand
             rate = cpu_rates[rt.context_id]
             unit_cost = (
                 demand.cpu_seconds_per_unit / rate
@@ -120,7 +253,7 @@ class RateCalculator:
             memory_concurrency=concurrency,
         )
 
-    def _cpu_rates(self, running: Sequence[RunningTask]) -> Dict[int, float]:
+    def _cpu_rates(self, running: Iterable[RunningTask]) -> Dict[int, float]:
         """Per-context execution rates under SMT sharing.
 
         A context is CPU-active when its task currently demands CPU:
@@ -130,13 +263,13 @@ class RateCalculator:
         """
         cpu_active_per_core: Dict[int, int] = {}
         for rt in running:
-            demands_cpu = rt.in_overhead_phase or rt.task.cpu_seconds > 0
+            demands_cpu = rt.overhead_remaining > 0.0 or rt.task.cpu_seconds > 0
             if demands_cpu:
                 cpu_active_per_core[rt.core_id] = (
                     cpu_active_per_core.get(rt.core_id, 0) + 1
                 )
         rates: Dict[int, float] = {}
+        cpu_rate = self._processor.cpu_rate
         for rt in running:
-            active = cpu_active_per_core.get(rt.core_id, 0)
-            rates[rt.context_id] = self._processor.cpu_rate(active)
+            rates[rt.context_id] = cpu_rate(cpu_active_per_core.get(rt.core_id, 0))
         return rates

@@ -149,6 +149,10 @@ class WorkQueue:
         self._dispatched: set = set()
         #: pair key -> context that ran the pair's memory task
         self._affinity: Dict[Tuple[int, int], int] = {}
+        #: context -> number of pair keys it currently owns; an exact
+        #: mirror of ``_affinity`` so :meth:`pop_compute` can skip the
+        #: ready-queue scan for contexts that own no claim at all.
+        self._affinity_counts: Dict[int, int] = {}
 
         for task in graph.topological_order():
             self._remaining_deps[task.task_id] = len(task.depends_on)
@@ -182,15 +186,17 @@ class WorkQueue:
 
     def pop_compute(self, context_id: int) -> Optional[Task]:
         """Dequeue a ready compute task, preferring cache affinity."""
-        if not self._ready_compute:
+        ready = self._ready_compute
+        if not ready:
             return None
-        for index, task in enumerate(self._ready_compute):
-            key = (task.phase_index, task.pair_index)
-            if self._affinity.get(key) == context_id:
-                del self._ready_compute[index]
-                self._dispatched.add(task.task_id)
-                return task
-        task = self._ready_compute.popleft()
+        if self._affinity_counts.get(context_id):
+            affinity = self._affinity
+            for index, task in enumerate(ready):
+                if affinity.get((task.phase_index, task.pair_index)) == context_id:
+                    del ready[index]
+                    self._dispatched.add(task.task_id)
+                    return task
+        task = ready.popleft()
         self._dispatched.add(task.task_id)
         return task
 
@@ -204,24 +210,36 @@ class WorkQueue:
 
     def note_memory_ran_on(self, task: Task, context_id: int) -> None:
         """Record affinity for the pair's upcoming compute task."""
-        self._affinity[(task.phase_index, task.pair_index)] = context_id
+        key = (task.phase_index, task.pair_index)
+        previous = self._affinity.get(key)
+        if previous == context_id:
+            return
+        if previous is not None:
+            self._affinity_counts[previous] -= 1
+        self._affinity[key] = context_id
+        self._affinity_counts[context_id] = (
+            self._affinity_counts.get(context_id, 0) + 1
+        )
 
     def mark_complete(self, task: Task) -> List[Task]:
         """Mark a task complete; returns tasks that just became ready."""
-        if task.task_id in self._completed:
-            raise SchedulingError(f"task {task.task_id!r} completed twice")
-        if task.task_id not in self._dispatched:
+        task_id = task.task_id
+        if task_id in self._completed:
+            raise SchedulingError(f"task {task_id!r} completed twice")
+        if task_id not in self._dispatched:
             raise SchedulingError(
-                f"task {task.task_id!r} completed without being dispatched"
+                f"task {task_id!r} completed without being dispatched"
             )
-        self._completed.add(task.task_id)
+        self._completed.add(task_id)
         newly_ready: List[Task] = []
-        for dependent in self._graph.dependents(task.task_id):
-            self._remaining_deps[dependent.task_id] -= 1
-            if self._remaining_deps[dependent.task_id] == 0:
+        remaining = self._remaining_deps
+        for dependent in self._graph.dependents(task_id):
+            count = remaining[dependent.task_id] - 1
+            remaining[dependent.task_id] = count
+            if count == 0:
                 self._enqueue(dependent)
                 newly_ready.append(dependent)
-            elif self._remaining_deps[dependent.task_id] < 0:
+            elif count < 0:
                 raise SchedulingError(
                     f"dependency count of {dependent.task_id!r} went negative"
                 )

@@ -72,6 +72,14 @@ class Simulator:
         self.noise: NoiseModel = noise if noise is not None else ZeroNoise()
         self.dispatch_preference = dispatch_preference
         self._rates = RateCalculator(machine.processor, machine.memory)
+        # Read once: the policy-validation path consults it per event.
+        self._context_count = machine.context_count
+
+    @property
+    def rate_calculator(self) -> RateCalculator:
+        """This simulator's (memoizing) rate calculator, exposed for
+        cache-effectiveness telemetry (``snapshot_cache`` events)."""
+        return self._rates
 
     def run(self, program: StreamProgram, policy: SchedulingPolicy) -> SimulationResult:
         """Execute ``program`` to completion under ``policy``."""
@@ -132,10 +140,10 @@ class Simulator:
 
     def _validated_mtl(self, policy: SchedulingPolicy) -> int:
         mtl = policy.current_mtl()
-        if not 1 <= mtl <= self.machine.context_count:
+        if not 1 <= mtl <= self._context_count:
             raise ConfigurationError(
                 f"policy {policy.name!r} requested MTL {mtl}, outside "
-                f"[1, {self.machine.context_count}]"
+                f"[1, {self._context_count}]"
             )
         return mtl
 
@@ -162,45 +170,56 @@ class Simulator:
         running: Dict[int, RunningTask],
         now: float,
     ) -> None:
+        # Early exits skip no-op scans only; dispatch order is unchanged
+        # (the queue only drains on a successful pick, so re-checking
+        # ready work after each dispatch matches checking before).
+        if len(running) == len(contexts) or not queue.has_ready_work():
+            return
+        noise = self.noise
         for context in contexts:
-            if context.context_id in running:
+            context_id = context.context_id
+            if context_id in running:
                 continue
-            task = self._pick_task(queue, gate, context.context_id)
+            task = self._pick_task(queue, gate, context_id)
             if task is None:
                 continue
-            running[context.context_id] = RunningTask(
+            running[context_id] = RunningTask(
                 task=task,
-                context_id=context.context_id,
+                context_id=context_id,
                 core_id=context.core_id,
                 start=now,
-                remaining_units=task.work_units * self.noise.duration_factor(),
-                overhead_remaining=self.noise.dispatch_overhead(),
+                remaining_units=task.work_units * noise.duration_factor(),
+                overhead_remaining=noise.dispatch_overhead(),
                 mtl_at_dispatch=gate.limit,
                 probe=policy.is_probing(),
             )
+            if not queue.has_ready_work():
+                return
 
     def _pick_task(self, queue: WorkQueue, gate: MtlGate, context_id: int):
         """Choose a task for an idle context per the dispatch order."""
-
-        def try_memory() -> Optional[Task]:
-            if queue.pending_memory > 0 and gate.try_acquire():
-                task = queue.pop_memory()
-                if task is None:  # pragma: no cover - guarded by pending_memory
-                    gate.release()
-                    return None
-                queue.note_memory_ran_on(task, context_id)
-                return task
-            return None
-
         if self.dispatch_preference == "memory-first":
-            task = try_memory()
+            task = self._try_memory(queue, gate, context_id)
             if task is not None:
                 return task
             return queue.pop_compute(context_id)
         task = queue.pop_compute(context_id)
         if task is not None:
             return task
-        return try_memory()
+        return self._try_memory(queue, gate, context_id)
+
+    def _try_memory(
+        self, queue: WorkQueue, gate: MtlGate, context_id: int
+    ) -> Optional[Task]:
+        """Dispatch a memory task if one is ready and the gate grants."""
+        if queue.pending_memory > 0 and gate.try_acquire():
+            task = queue.pop_memory()
+            if task is None:  # pragma: no cover - guarded by pending_memory
+                gate.release()
+                return None
+            queue.note_memory_ran_on(task, context_id)
+            return task
+        return None
 
     def _advance(
         self,
@@ -211,37 +230,44 @@ class Simulator:
         records: List[TaskRecord],
         now: float,
     ) -> float:
-        snapshot = self._rates.snapshot(list(running.values()))
+        # One shared population list: the rate calculator memoizes by
+        # population signature, so most events resolve to a dict hit.
+        population = list(running.values())
+        snapshot = self._rates.snapshot(population)
+        speeds = snapshot.speeds
+        cpu_rates = snapshot.cpu_rates
 
         dt = math.inf
-        for rt in running.values():
-            if rt.in_overhead_phase:
-                rate = snapshot.cpu_rates[rt.context_id]
-                dt = min(dt, rt.overhead_remaining / rate)
+        for rt in population:
+            if rt.overhead_remaining > 0.0:
+                rate = cpu_rates[rt.context_id]
+                step = rt.overhead_remaining / rate
             else:
-                speed = snapshot.speeds[rt.context_id]
+                speed = speeds[rt.context_id]
                 if speed <= 0:
                     raise SimulationError(
                         f"task {rt.task.task_id!r} has non-positive speed"
                     )
-                dt = min(dt, rt.remaining_units / speed)
+                step = rt.remaining_units / speed
+            if step < dt:
+                dt = step
         if not math.isfinite(dt) or dt < 0:
             raise SimulationError(f"invalid time step {dt!r}")
 
         now += dt
         finished: List[RunningTask] = []
-        for rt in running.values():
-            if rt.in_overhead_phase:
-                rate = snapshot.cpu_rates[rt.context_id]
+        for rt in population:
+            if rt.overhead_remaining > 0.0:
+                rate = cpu_rates[rt.context_id]
                 rt.overhead_remaining -= dt * rate
                 if rt.overhead_remaining <= _COMPLETION_EPSILON * max(
                     rt.overhead_remaining, 1.0
                 ):
                     rt.overhead_remaining = 0.0
             else:
-                speed = snapshot.speeds[rt.context_id]
+                speed = speeds[rt.context_id]
                 rt.remaining_units -= dt * speed
-                if rt.remaining_units <= _COMPLETION_EPSILON * rt.task.work_units:
+                if rt.remaining_units <= _COMPLETION_EPSILON * rt.total_units:
                     finished.append(rt)
 
         for rt in finished:

@@ -49,6 +49,14 @@ class TaskGraph:
                 self._dependents[dep].append(task.task_id)
 
         self._order = self._topological_order()
+        # Completion handling asks for dependents once per task per
+        # run, and one graph is reused across many runs (the offline
+        # search sweeps every MTL over the same graph) — so resolve
+        # the id lists to task lists once, up front.
+        self._dependent_tasks: Dict[str, List[Task]] = {
+            tid: [self._tasks[t] for t in ids]
+            for tid, ids in self._dependents.items()
+        }
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -68,9 +76,10 @@ class TaskGraph:
 
     def dependents(self, task_id: str) -> List[Task]:
         """Tasks that list ``task_id`` as a dependency."""
-        if task_id not in self._tasks:
-            raise TaskGraphError(f"unknown task id {task_id!r}")
-        return [self._tasks[t] for t in self._dependents[task_id]]
+        try:
+            return self._dependent_tasks[task_id]
+        except KeyError:
+            raise TaskGraphError(f"unknown task id {task_id!r}") from None
 
     def ready_tasks(self, completed: AbstractSet[str]) -> List[Task]:
         """Tasks whose dependencies are all in ``completed``.

@@ -83,14 +83,29 @@ class Task:
             raise ConfigurationError(
                 f"task {self.task_id!r} has no work (zero CPU time and zero requests)"
             )
+        # Every field is frozen, so the derived quantities the
+        # simulator reads on each dispatch are computed exactly once
+        # (attached behind the frozen dataclass's back; excluded from
+        # equality and repr, consistent values under pickling).
+        units = max(self.cpu_seconds * 1e9, self.memory_requests, 1.0)
+        object.__setattr__(self, "_is_memory", self.kind is TaskKind.MEMORY)
+        object.__setattr__(self, "_work_units", units)
+        object.__setattr__(
+            self,
+            "_demand",
+            MemoryDemand(
+                cpu_seconds_per_unit=self.cpu_seconds / units,
+                requests_per_unit=self.memory_requests / units,
+            ),
+        )
 
     @property
     def is_memory(self) -> bool:
-        return self.kind is TaskKind.MEMORY
+        return self._is_memory
 
     @property
     def is_compute(self) -> bool:
-        return self.kind is TaskKind.COMPUTE
+        return not self._is_memory
 
     @property
     def work_units(self) -> float:
@@ -102,15 +117,15 @@ class Task:
         prevailing latency.  Using ``max`` keeps the unit granularity
         fine enough for both demand kinds.
         """
-        return max(self.cpu_seconds * 1e9, self.memory_requests, 1.0)
+        return self._work_units
 
     def demand(self) -> MemoryDemand:
-        """Per-work-unit resource demand for the equilibrium solver."""
-        units = self.work_units
-        return MemoryDemand(
-            cpu_seconds_per_unit=self.cpu_seconds / units,
-            requests_per_unit=self.memory_requests / units,
-        )
+        """Per-work-unit resource demand for the equilibrium solver.
+
+        Returns one shared (frozen) instance per task, so dispatching
+        the same task repeatedly never rebuilds it.
+        """
+        return self._demand
 
     def duration_at_latency(self, request_latency: float) -> float:
         """Wall-clock duration if the request latency stayed constant.

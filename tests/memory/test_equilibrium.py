@@ -5,7 +5,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import ModelError
 from repro.memory.contention import LinearContentionModel
-from repro.memory.equilibrium import MemoryDemand, effective_concurrency
+from repro.memory.equilibrium import (
+    EquilibriumSolver,
+    MemoryDemand,
+    demand_signature,
+    effective_concurrency,
+)
 from repro.units import NANOSECONDS
 
 
@@ -118,3 +123,106 @@ class TestEffectiveConcurrency:
         c_small = effective_concurrency(small, linear_latency)
         c_large = effective_concurrency(large, linear_latency)
         assert c_large >= c_small - 1e-9
+
+
+demand_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e-6),
+        st.floats(min_value=0.0, max_value=4.0),
+    ).map(lambda t: MemoryDemand(cpu_seconds_per_unit=t[0], requests_per_unit=t[1])),
+    max_size=12,
+)
+
+
+class TestFastPath:
+    """The pure-population closed form must be indistinguishable from
+    the damped iteration — exact equality, not approx."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4, 8, 64])
+    def test_pure_population_exactly_matches_iterative(self, k):
+        demands = [pure_memory() for _ in range(k)]
+        fast = effective_concurrency(demands, linear_latency)
+        slow = effective_concurrency(demands, linear_latency, fast_path=False)
+        assert fast == slow  # bit-identical, both float(k)
+
+    def test_pure_population_with_compute_exactly_matches_iterative(self):
+        demands = [pure_memory(), pure_compute(), pure_memory(), pure_compute()]
+        fast = effective_concurrency(demands, linear_latency)
+        slow = effective_concurrency(demands, linear_latency, fast_path=False)
+        assert fast == slow == 2.0
+
+    @settings(max_examples=80)
+    @given(demands=demand_lists)
+    def test_property_fast_path_never_changes_the_result(self, demands):
+        fast = effective_concurrency(demands, linear_latency)
+        slow = effective_concurrency(demands, linear_latency, fast_path=False)
+        assert fast == slow
+
+    def test_fast_path_still_validates_latency(self):
+        # The closed form must preserve the iterative path's error
+        # behaviour: a non-positive latency raises even when the answer
+        # would not need the latency at all.
+        with pytest.raises(ModelError):
+            effective_concurrency([pure_memory()], lambda c: 0.0)
+
+
+class TestDemandSignature:
+    def test_equal_sequences_share_a_signature(self):
+        a = [pure_memory(), pure_compute()]
+        b = [pure_memory(), pure_compute()]
+        assert demand_signature(a) == demand_signature(b)
+
+    def test_signature_preserves_order(self):
+        # Float summation is not associative, so permutations of one
+        # multiset must land in different memo slots.
+        ab = [pure_memory(), pure_compute()]
+        ba = [pure_compute(), pure_memory()]
+        assert demand_signature(ab) != demand_signature(ba)
+
+    def test_distinct_demands_never_collide(self):
+        base = [MemoryDemand(cpu_seconds_per_unit=1e-9, requests_per_unit=1.0)]
+        tweaked = [MemoryDemand(cpu_seconds_per_unit=1e-9, requests_per_unit=1.0 + 1e-15)]
+        assert demand_signature(base) != demand_signature(tweaked)
+
+    def test_empty_population_has_empty_signature(self):
+        assert demand_signature([]) == b""
+
+
+class TestEquilibriumSolver:
+    def test_hit_returns_exactly_the_cold_solution(self):
+        solver = EquilibriumSolver(linear_latency)
+        demands = [
+            pure_memory(),
+            MemoryDemand(cpu_seconds_per_unit=30e-9, requests_per_unit=0.5),
+        ]
+        cold_c = effective_concurrency(demands, linear_latency)
+        cold_latency = linear_latency(cold_c if cold_c > 1.0 else 1.0)
+        first = solver.solve(demands)
+        hit = solver.solve(demands)
+        assert first == hit == (cold_c, cold_latency)
+        assert (solver.hits, solver.misses) == (1, 1)
+
+    def test_empty_population_charges_unloaded_latency(self):
+        solver = EquilibriumSolver(linear_latency)
+        assert solver.solve([]) == (0.0, linear_latency(1.0))
+
+    def test_precomputed_key_matches_derived_key(self):
+        solver = EquilibriumSolver(linear_latency)
+        demands = [pure_memory(), pure_memory()]
+        derived = solver.solve(demands)
+        keyed = solver.solve(demands, key=demand_signature(demands))
+        assert keyed == derived
+        assert solver.hits == 1
+
+    def test_overflow_clears_but_results_stay_exact(self):
+        solver = EquilibriumSolver(linear_latency, max_entries=2)
+        for k in (1, 2, 3, 4):
+            demands = [pure_memory() for _ in range(k)]
+            c, latency = solver.solve(demands)
+            assert c == effective_concurrency(demands, linear_latency)
+            assert latency == linear_latency(max(c, 1.0))
+            assert len(solver) <= 2
+
+    def test_rejects_non_positive_max_entries(self):
+        with pytest.raises(ModelError):
+            EquilibriumSolver(linear_latency, max_entries=0)

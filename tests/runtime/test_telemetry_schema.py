@@ -29,8 +29,10 @@ from repro.runtime.telemetry import (
     fault_event,
     point_event,
     point_failure_event,
+    profile_event,
     read_telemetry,
     retry_event,
+    snapshot_cache_event,
     sweep_event,
     validate_record,
 )
@@ -48,7 +50,7 @@ POINTS = [
 
 
 def emit_everything(tmp_path):
-    """One run that produces all six event kinds."""
+    """One run that produces all eight event kinds."""
     sink = io.StringIO()
     # error_rate=1 with retries=1 fails the first point set; a second
     # healthy cached run adds point + cache_quarantine records.
@@ -68,6 +70,20 @@ def emit_everything(tmp_path):
     )
     chaos.run(POINTS)  # stores, then corrupts, every entry
     chaos.run(POINTS)  # quarantines and re-runs
+    # The perf events are emitted by perfbench, not the executor; feed
+    # the same sink through the builders it uses.
+    writer = TelemetryWriter(sink)
+    writer.emit(
+        snapshot_cache_event(
+            cache="rate_snapshot", label="schema", hits=8, misses=2, entries=2
+        )
+    )
+    writer.emit(
+        profile_event(
+            label="schema", function="engine.py:1(snapshot)", rank=1,
+            calls=10, cumulative_seconds=0.5, total_seconds=0.1,
+        )
+    )
     return read_telemetry(io.StringIO(sink.getvalue()))
 
 
@@ -75,7 +91,7 @@ class TestEmittedRecordsConform:
     def test_every_record_validates(self, tmp_path):
         records = emit_everything(tmp_path)
         kinds = {r["event"] for r in records}
-        assert kinds == set(EVENT_SCHEMAS)  # all six kinds exercised
+        assert kinds == set(EVENT_SCHEMAS)  # all eight kinds exercised
         for record in records:
             validate_record(record)
 
@@ -97,6 +113,13 @@ class TestEmittedRecordsConform:
             "cache_quarantine": cache_quarantine_event(key="k", path="p", reason="r"),
             "sweep": sweep_event(
                 points=1, cache_hits=0, cache_misses=1, wall_seconds=0.1, jobs=1
+            ),
+            "snapshot_cache": snapshot_cache_event(
+                cache="equilibrium", label="l", hits=3, misses=1, entries=1
+            ),
+            "profile": profile_event(
+                label="l", function="f.py:2(g)", rank=1, calls=4,
+                cumulative_seconds=0.2, total_seconds=0.1,
             ),
         }
         assert set(built) == set(EVENT_SCHEMAS)

@@ -159,3 +159,66 @@ class TestChaosOptions:
             r.split() for r in clean_rows
         ]
         assert "Offline" not in captured.out
+
+
+class TestPerfbench:
+    def test_quick_report_with_profile_telemetry_and_check(
+        self, capsys, tmp_path
+    ):
+        baseline = tmp_path / "baseline.json"
+        # An always-passing gate: any machine beats 1 event/sec.
+        baseline.write_text(json.dumps({
+            "schema": 1,
+            "seed": {"fig13_wall_seconds_per_point": 0.02,
+                     "engine_events_per_sec": 10000.0,
+                     "fig14_point_wall_seconds": 0.006},
+            "current": {"engine_events_per_sec": 1.0},
+        }))
+        output = tmp_path / "bench.json"
+        telemetry = tmp_path / "telemetry.jsonl"
+        assert main([
+            "perfbench", "--quick", "--profile", "--check",
+            "--output", str(output),
+            "--baseline", str(baseline),
+            "--telemetry", str(telemetry),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "perf check passed" in out
+        assert "profile (top by cumulative time):" in out
+
+        report = json.loads(output.read_text())
+        assert report["schema"] == 1
+        assert report["quick"] is True
+        for section in ("equilibrium", "engine", "fig13", "fig14"):
+            assert section in report
+        assert report["engine"]["events_per_sec"] > 0
+        assert report["equilibrium"]["pure_memoized_speedup"] > 1.0
+        assert report["fig13"]["points"] == 16
+        assert "fig13_wall_vs_seed" in report["speedups"]
+        assert report["profile"]
+
+        kinds = [json.loads(line)["event"]
+                 for line in telemetry.read_text().splitlines()]
+        assert kinds.count("snapshot_cache") == 2
+        assert "profile" in kinds
+
+    def test_check_failure_exits_4(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        # An impossible gate: no machine reaches 1e12 events/sec.
+        baseline.write_text(json.dumps(
+            {"schema": 1, "current": {"engine_events_per_sec": 1e12}}
+        ))
+        assert main([
+            "perfbench", "--quick", "--output", "-",
+            "--baseline", str(baseline), "--check",
+        ]) == 4
+        captured = capsys.readouterr()
+        assert "regressed" in captured.err
+        json.loads(captured.out)  # "-" streams the raw report JSON
+
+    def test_missing_baseline_check_fails(self, capsys, tmp_path):
+        assert main([
+            "perfbench", "--quick", "--output", str(tmp_path / "b.json"),
+            "--baseline", str(tmp_path / "absent.json"), "--check",
+        ]) == 4
+        assert "no baseline" in capsys.readouterr().err
