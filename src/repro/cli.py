@@ -10,7 +10,10 @@ without writing Python:
 * ``compare WORKLOAD`` — the Figure 14 three-policy comparison;
 * ``sweep`` — a miniature Figure 13 synthetic sweep;
 * ``perfbench`` — engine performance microbenchmarks writing
-  ``BENCH_sim.json`` (see ``docs/performance.md``).
+  ``BENCH_sim.json`` (see ``docs/performance.md``);
+* ``lint`` — AST-based static invariant checks (determinism,
+  memo-safety, telemetry-schema integrity; see
+  ``docs/static_analysis.md``).  Exit code 1 on findings.
 
 Workloads are named as in the paper (``dft``, ``SC_d128``, ``SIFT``)
 or loaded from a JSON spec via ``--spec`` (see
@@ -164,6 +167,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workload names (default: the Figure 14 trio)",
     )
     add_executor_options(suite)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks (determinism, memo-safety, "
+             "telemetry schema; see docs/static_analysis.md)",
+    )
+    lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                      help="files or directories to check "
+                           "(default: src tests)")
+    lint.add_argument("--rule", action="append", dest="rules",
+                      metavar="RPR###",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="fmt", help="report format (default: text)")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the report to PATH (the CI job "
+                           "uploads the JSON report as an artifact)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="drop findings fingerprinted in this baseline "
+                           "file (accepted pre-existing debt)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current findings to --baseline "
+                           "instead of failing on them")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
 
     perfbench = sub.add_parser(
         "perfbench",
@@ -413,6 +441,54 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return _report_failures(result.failures)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        LintEngine,
+        build_rules,
+        load_baseline,
+        render_json,
+        render_text,
+        rule_catalogue,
+    )
+    from repro.lint.reporters import write_baseline
+
+    if args.list_rules:
+        for row in rule_catalogue():
+            autofix = " autofix" if row["autofixable"] else ""
+            print(
+                f"{row['id']}  [{row['severity']}{autofix}] "
+                f"({row['family']}) {row['title']}"
+            )
+        return 0
+    paths = args.paths or ["src", "tests"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise ReproError(f"lint path(s) do not exist: {', '.join(missing)}")
+    if args.write_baseline and not args.baseline:
+        raise ReproError("--write-baseline needs --baseline PATH")
+    rules = build_rules(only=args.rules)
+    enabled = set(args.rules) if args.rules else None
+    baseline = set()
+    if args.baseline and not args.write_baseline:
+        baseline = load_baseline(args.baseline)
+    engine = LintEngine(rules=rules, enabled=enabled, baseline=baseline)
+    report = engine.run([Path(p) for p in paths])
+    if args.write_baseline:
+        write_baseline(report, args.baseline)
+        print(
+            f"wrote {len(report.findings)} fingerprint(s) to {args.baseline}"
+        )
+        return 0
+    rendered = render_json(report) if args.fmt == "json" else render_text(report)
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+    return 1 if report.findings else 0
+
+
 def _cmd_perfbench(args: argparse.Namespace) -> int:
     from repro.runtime.perfbench import (
         DEFAULT_BASELINE_PATH,
@@ -468,6 +544,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "suite":
             return _cmd_suite(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "perfbench":
             return _cmd_perfbench(args)
         parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,74 @@
+"""``repro lint`` — AST-based static invariant checking.
+
+The reproduction's headline guarantees (bit-identical runs, memoized ==
+cold recomputation, telemetry that validates against its schema) are
+*invariants of the source*, not of any particular run.  This package
+derives them statically, the way WCET/interference analyses derive
+bounds from the program rather than sampling them: every rule encodes
+one invariant the test suite otherwise only spot-checks.
+
+Layout:
+
+* :mod:`repro.lint.engine` — file walking, per-file AST dispatch,
+  suppression comments (``# repro: lint-ok RPR### -- reason``), and
+  baseline filtering;
+* :mod:`repro.lint.rules` — the rule registry.  Each rule is a class
+  with a stable id (``RPR###``), a severity, and an ``autofixable``
+  flag; rules are grouped into families (determinism, memo-safety,
+  telemetry, executor hygiene, API hygiene);
+* :mod:`repro.lint.reporters` — ``text`` and ``json`` renderers plus
+  baseline read/write.
+
+Run it as ``python -m repro lint [paths] [--rule RPR###] [--format
+text|json] [--baseline PATH]``; the rule catalogue lives in
+``docs/static_analysis.md`` (and is parity-tested against the
+registry, so it cannot drift).
+"""
+
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    LintReport,
+    Suppressions,
+    iter_python_files,
+    layer_for_path,
+)
+from repro.lint.reporters import (
+    findings_to_baseline,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.lint.rules import (
+    DETERMINISTIC_LAYERS,
+    META_RULES,
+    RULE_FAMILIES,
+    Rule,
+    all_rule_ids,
+    build_rules,
+    rule_catalogue,
+)
+
+__all__ = [
+    "DETERMINISTIC_LAYERS",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "META_RULES",
+    "RULE_FAMILIES",
+    "Rule",
+    "Suppressions",
+    "all_rule_ids",
+    "build_rules",
+    "findings_to_baseline",
+    "iter_python_files",
+    "layer_for_path",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+    "write_baseline",
+]

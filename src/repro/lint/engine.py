@@ -1,0 +1,364 @@
+"""Lint engine: file discovery, AST dispatch, suppressions, baselines.
+
+The engine is deliberately small: it reads each file once, parses it
+once, hands the tree to every applicable rule, then runs each rule's
+corpus-level ``finalize`` hook.  Everything rule-specific lives in
+:mod:`repro.lint.rules`; everything presentation-specific lives in
+:mod:`repro.lint.reporters`.
+
+Two findings are emitted by the engine itself rather than by a rule
+class (they are registered as *meta rules* so ``--rule`` filtering,
+the docs catalogue, and the fixtures corpus treat them uniformly):
+
+* ``RPR001`` — a file that does not parse;
+* ``RPR002`` — a malformed suppression comment (missing reason, or an
+  unknown rule id).
+
+Suppression syntax (reason required — an unexplained suppression is
+itself a finding)::
+
+    do_risky_thing()  # repro: lint-ok RPR403 -- ordering proven fixed here
+
+A suppression comment on its own line applies to the next line, so
+long statements stay readable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "EXCLUDED_DIR_NAMES",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Suppressions",
+    "iter_python_files",
+    "layer_for_path",
+]
+
+#: Directory names the recursive walker never descends into.  The lint
+#: fixtures corpus is excluded by name: its known-bad snippets exist to
+#: fail, and must not make ``repro lint tests`` fail with them.
+#: Explicitly listed *files* are always linted, excluded or not.
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".repro-cache",
+        "build",
+        "dist",
+        "fixtures",
+        "node_modules",
+    }
+)
+
+#: Package sub-directories of ``repro`` that name an architectural
+#: layer; see :func:`layer_for_path`.
+_LAYER_DIRS = frozenset(
+    {
+        "analysis",
+        "core",
+        "lint",
+        "memory",
+        "runtime",
+        "sim",
+        "stream",
+        "workloads",
+    }
+)
+
+
+def layer_for_path(path: Path) -> str:
+    """Architectural layer of a file, derived from its path.
+
+    ``.../repro/<layer>/...`` maps to ``<layer>`` (this also holds for
+    fixture corpora that embed a ``repro/<layer>/`` spine, which is how
+    layer-scoped rules are exercised by tests); a module directly under
+    ``repro/`` (``units.py``, ``cli.py``) maps to ``"root"``; anything
+    under a ``tests`` directory maps to ``"tests"``; everything else to
+    ``"unknown"`` (no layer-scoped rule applies there).
+    """
+    parts = path.parts
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro" and parts[index + 1] in _LAYER_DIRS:
+            return parts[index + 1]
+    if "repro" in parts[:-1]:
+        return "root"
+    if "tests" in parts:
+        return "tests"
+    return "unknown"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line`` is 1-based; corpus-level findings (no single source line)
+    use line 0.  ``source_line`` carries the stripped text of the
+    offending line so baselines survive unrelated line-number shifts.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Stable identity used by ``--baseline`` filtering."""
+        return f"{self.rule}:{self.path}:{self.source_line}"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+    layer: str
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\s+(?P<id>RPR\d{3})\s*(?:[-—:,]+\s*(?P<reason>\S.*))?$"
+)
+
+
+class Suppressions:
+    """Per-file map of ``# repro: lint-ok`` directives.
+
+    A directive on a line with code applies to that line; a directive
+    on a comment-only line applies to the next line.  Malformed
+    directives (missing reason, unknown rule id) surface as ``RPR002``
+    findings instead of silently suppressing nothing.
+    """
+
+    def __init__(
+        self,
+        ctx: FileContext,
+        known_ids: Set[str],
+    ) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.errors: List[Finding] = []
+        for lineno, text in enumerate(ctx.lines, start=1):
+            match = _SUPPRESSION_RE.search(text)
+            if match is None:
+                continue
+            rule_id = match.group("id")
+            reason = (match.group("reason") or "").strip()
+            if rule_id not in known_ids:
+                self.errors.append(
+                    Finding(
+                        rule="RPR002",
+                        severity="error",
+                        path=ctx.display_path,
+                        line=lineno,
+                        col=match.start() + 1,
+                        message=(
+                            f"suppression names unknown rule {rule_id}; "
+                            "known ids are RPR###, see docs/static_analysis.md"
+                        ),
+                        source_line=ctx.line_text(lineno),
+                    )
+                )
+                continue
+            if not reason:
+                self.errors.append(
+                    Finding(
+                        rule="RPR002",
+                        severity="error",
+                        path=ctx.display_path,
+                        line=lineno,
+                        col=match.start() + 1,
+                        message=(
+                            f"suppression of {rule_id} has no reason; write "
+                            f"'# repro: lint-ok {rule_id} -- why it is safe'"
+                        ),
+                        source_line=ctx.line_text(lineno),
+                    )
+                )
+                continue
+            target = lineno
+            if text.lstrip().startswith("#"):
+                target = lineno + 1  # comment-only line guards the next one
+            self.by_line.setdefault(target, set()).add(rule_id)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.rule in self.by_line.get(finding.line, ())
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every Python file under ``paths``.
+
+    Directories are walked recursively, skipping
+    :data:`EXCLUDED_DIR_NAMES` (and ``*.egg-info``); a path given
+    explicitly is yielded even if an exclusion would have hidden it,
+    so ``repro lint tests/lint/fixtures/... `` works for fixture
+    authors.
+    """
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                skip = any(
+                    part in EXCLUDED_DIR_NAMES or part.endswith(".egg-info")
+                    for part in relative.parts[:-1]
+                )
+                if not skip:
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise ReproError(f"lint path does not exist: {path}")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: List[Finding]
+    files_scanned: int
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+@dataclass
+class LintEngine:
+    """Runs a rule set over a file corpus.
+
+    Args:
+        rules: Rule instances (fresh per run — corpus rules accumulate
+            state between files).  Build them with
+            :func:`repro.lint.rules.build_rules`.
+        enabled: Optional restriction to a set of rule ids (the CLI's
+            ``--rule``); meta findings (RPR001/RPR002) obey it too.
+        root: Paths in findings are rendered relative to this
+            directory when possible, for stable output across checkouts.
+        baseline: Fingerprints of findings to drop (pre-existing debt
+            that has been explicitly accepted); see
+            :func:`repro.lint.reporters.load_baseline`.
+    """
+
+    rules: List["Rule"]  # noqa: F821 — see repro.lint.rules.base
+    enabled: Optional[Set[str]] = None
+    root: Optional[Path] = None
+    baseline: Set[str] = field(default_factory=set)
+
+    def run(self, paths: Sequence[Path]) -> LintReport:
+        files = list(dict.fromkeys(iter_python_files([Path(p) for p in paths])))
+        known_ids = self._known_ids()
+        collected: List[Finding] = []
+        suppressed = 0
+        for file_path in files:
+            ctx = self._context(file_path)
+            if ctx is None:
+                collected.append(self._parse_failure(file_path))
+                continue
+            suppressions = Suppressions(ctx, known_ids)
+            file_findings = list(suppressions.errors)
+            for rule in self.rules:
+                if rule.applies_to(ctx):
+                    file_findings.extend(rule.check(ctx))
+            for finding in file_findings:
+                if suppressions.covers(finding):
+                    suppressed += 1
+                else:
+                    collected.append(finding)
+        for rule in self.rules:
+            collected.extend(rule.finalize())
+        if self.enabled is not None:
+            collected = [f for f in collected if f.rule in self.enabled]
+        baselined = 0
+        if self.baseline:
+            kept = []
+            for finding in collected:
+                if finding.fingerprint() in self.baseline:
+                    baselined += 1
+                else:
+                    kept.append(finding)
+            collected = kept
+        collected.sort(key=Finding.sort_key)
+        return LintReport(
+            findings=collected,
+            files_scanned=len(files),
+            suppressed=suppressed,
+            baselined=baselined,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _known_ids(self) -> Set[str]:
+        # A suppression naming any registered rule is well-formed even
+        # when --rule restricts which rules actually run.
+        from repro.lint.rules import all_rule_ids
+
+        return set(all_rule_ids()) | {rule.id for rule in self.rules}
+
+    def _display(self, path: Path) -> str:
+        root = self.root or Path.cwd()
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _context(self, path: Path) -> Optional[FileContext]:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError):
+            return None
+        return FileContext(
+            path=path,
+            display_path=self._display(path),
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+            layer=layer_for_path(path),
+        )
+
+    def _parse_failure(self, path: Path) -> Finding:
+        return Finding(
+            rule="RPR001",
+            severity="error",
+            path=self._display(path),
+            line=0,
+            col=0,
+            message="file does not parse as Python (or is unreadable)",
+        )

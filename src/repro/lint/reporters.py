@@ -1,0 +1,116 @@
+"""Rendering and baseline persistence for lint reports.
+
+Two formats: ``text`` (one ``path:line:col: RPR### [severity]
+message`` line per finding plus a summary) and ``json`` (a stable
+machine-readable document the CI job uploads as an artifact next to
+``BENCH_sim.json``).  Baselines are JSON files of finding
+fingerprints — accepted pre-existing debt that stops failing the
+build without a suppression comment at every site.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Set, Union
+
+from repro.errors import ReproError
+from repro.lint.engine import Finding, LintReport
+
+__all__ = [
+    "LINT_REPORT_VERSION",
+    "render_text",
+    "render_json",
+    "findings_to_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Bump when the JSON report's shape changes.
+LINT_REPORT_VERSION = 1
+
+
+def _finding_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "fingerprint": finding.fingerprint(),
+    }
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one line per finding, then a summary."""
+    lines = [
+        f"{f.location()}: {f.rule} [{f.severity}] {f.message}"
+        for f in report.findings
+    ]
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({report.errors} error(s), {report.warnings} warning(s)) "
+        f"in {report.files_scanned} file(s)"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        summary += " — " + ", ".join(extras)
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    document = {
+        "version": LINT_REPORT_VERSION,
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "summary": {
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "by_rule": report.counts_by_rule(),
+        },
+        "findings": [_finding_dict(f) for f in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def findings_to_baseline(report: LintReport) -> str:
+    """Serialise the current findings as an accepted-debt baseline."""
+    document = {
+        "version": LINT_REPORT_VERSION,
+        "fingerprints": sorted({f.fingerprint() for f in report.findings}),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(report: LintReport, path: Union[str, pathlib.Path]) -> None:
+    pathlib.Path(path).write_text(findings_to_baseline(report))
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Set[str]:
+    """Read a baseline file's fingerprints.
+
+    Raises :class:`~repro.errors.ReproError` on malformed documents —
+    a silently empty baseline would resurrect every accepted finding.
+    """
+    try:
+        document = json.loads(pathlib.Path(path).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read lint baseline {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"lint baseline {path} is not valid JSON: {exc}")
+    fingerprints = document.get("fingerprints") if isinstance(document, dict) else None
+    if not isinstance(fingerprints, list) or not all(
+        isinstance(item, str) for item in fingerprints
+    ):
+        raise ReproError(
+            f"lint baseline {path} must contain a 'fingerprints' string list"
+        )
+    return set(fingerprints)

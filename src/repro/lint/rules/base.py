@@ -1,0 +1,147 @@
+"""Rule plugin API and shared AST helpers.
+
+A rule is a class with class-level metadata (stable ``id``, human
+``title``, ``severity``, ``autofixable``, an optional ``layers``
+scope) and two hooks:
+
+* :meth:`Rule.check` — called once per file with a
+  :class:`~repro.lint.engine.FileContext`; yields findings;
+* :meth:`Rule.finalize` — called once after every file, for rules
+  whose invariant spans the corpus (e.g. the orphan-schema check).
+
+Rules that resolve names (``time.time``, ``np.random.rand``) share
+:class:`ImportMap`, which canonicalises call targets through the
+file's imports, so ``from time import time as now`` cannot dodge the
+wall-clock rule while a local variable that merely *shadows* ``time``
+does not false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.engine import FileContext, Finding
+
+__all__ = ["Rule", "ImportMap", "dotted_name", "call_name", "finding_at"]
+
+
+class Rule:
+    """Base class for lint rules; subclasses set the class attributes."""
+
+    id: str = "RPR000"
+    title: str = ""
+    family: str = ""
+    severity: str = "error"
+    autofixable: bool = False
+    #: Restrict to these architectural layers (None = every file).
+    layers: Optional[frozenset] = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return self.layers is None or ctx.layer in self.layers
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield corpus-level findings after every file was checked."""
+        return iter(())
+
+    # ------------------------------------------------------------------
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        return finding_at(
+            rule=self.id,
+            severity=self.severity,
+            ctx=ctx,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", -1) + 1,
+            message=message,
+        )
+
+
+def finding_at(
+    rule: str,
+    severity: str,
+    ctx: FileContext,
+    line: int,
+    col: int,
+    message: str,
+) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=severity,
+        path=ctx.display_path,
+        line=line,
+        col=col,
+        message=message,
+        source_line=ctx.line_text(line),
+    )
+
+
+class ImportMap:
+    """Maps local names to canonical dotted module paths.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from time import
+    time as now`` binds ``now -> time.time``; ``from datetime import
+    datetime`` binds ``datetime -> datetime.datetime``.  Names never
+    bound by an import resolve to ``None``, so locals that shadow a
+    module name do not false-positive.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._bindings: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    canonical = alias.name if alias.asname else local
+                    self._bindings[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay repo-internal
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, if imported."""
+        chain: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self._bindings.get(current.id)
+        if base is None:
+            return None
+        chain.append(base)
+        return ".".join(reversed(chain))
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Literal dotted text of a Name/Attribute chain (no import logic)."""
+    chain: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        chain.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    chain.append(current.id)
+    return ".".join(reversed(chain))
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Bare callee name of a call (``f(...)`` or ``pkg.f(...)`` -> last part)."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]

@@ -889,7 +889,11 @@ class SweepExecutor:
                         ):
                             try:
                                 process.kill()
-                            except Exception:
+                            except (OSError, ValueError):
+                                # Already dead (ProcessLookupError) or
+                                # already closed (ValueError): the goal
+                                # — that worker not holding a slot — is
+                                # achieved either way.
                                 pass
                         capacity = min(self.jobs, max(1, len(queue)))
                         pool = ProcessPoolExecutor(max_workers=capacity)

@@ -63,6 +63,12 @@ class Task:
     pair_index: int = 0
     phase_index: int = 0
     depends_on: Tuple[str, ...] = field(default=())
+    # Derived, write-once in __post_init__ (see there); declared as
+    # non-init fields so the attributes are typed without entering
+    # __init__, equality, or repr.
+    _is_memory: bool = field(init=False, repr=False, compare=False)
+    _work_units: float = field(init=False, repr=False, compare=False)
+    _demand: MemoryDemand = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.task_id:

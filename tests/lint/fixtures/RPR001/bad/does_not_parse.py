@@ -1,0 +1,2 @@
+"""Known-bad: this file is not valid Python."""
+def broken(:

@@ -1,0 +1,2 @@
+"""Known-good: a perfectly ordinary module."""
+VALUE = 1

@@ -1,0 +1,6 @@
+"""Known-bad: suppressions without a reason, and with an unknown id."""
+try:
+    pass
+except ValueError:  # repro: lint-ok RPR401
+    pass
+X = 1  # repro: lint-ok RPR999 -- no such rule

@@ -1,0 +1,5 @@
+"""Known-good: a well-formed suppression with a reason string."""
+try:
+    pass
+except Exception:  # repro: lint-ok RPR401 -- top-level firewall, logged and re-raised by caller
+    pass

@@ -1,0 +1,10 @@
+"""Known-bad: wall-clock reads inside a deterministic layer."""
+import time
+from datetime import datetime
+from time import perf_counter as tick
+
+__all__ = []
+
+
+def stamp():
+    return time.time(), datetime.now(), tick()

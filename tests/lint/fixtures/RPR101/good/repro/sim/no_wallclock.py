@@ -1,0 +1,6 @@
+"""Known-good: simulated time comes from the event loop."""
+__all__ = []
+
+
+def advance(now, delta):
+    return now + delta

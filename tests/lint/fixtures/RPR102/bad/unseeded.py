@@ -1,0 +1,11 @@
+"""Known-bad: global-state and unseeded randomness."""
+import random
+
+import numpy as np
+
+__all__ = []
+
+
+def jitter():
+    rng = random.Random()
+    return random.random() + np.random.rand() + np.random.default_rng().normal() + rng.random()

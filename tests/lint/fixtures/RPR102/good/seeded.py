@@ -1,0 +1,12 @@
+"""Known-good: every RNG is explicitly seeded."""
+import random
+
+import numpy as np
+
+__all__ = []
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    npr = np.random.default_rng(seed)
+    return rng.random() + npr.normal()

@@ -1,0 +1,8 @@
+"""Known-bad: environment reads inside a deterministic layer."""
+import os
+
+__all__ = []
+
+
+def channels():
+    return int(os.environ["REPRO_CHANNELS"]) + int(os.getenv("REPRO_SMT", "1"))

@@ -1,0 +1,8 @@
+"""Known-good: the runtime layer may read the environment."""
+import os
+
+__all__ = []
+
+
+def cache_dir():
+    return os.environ.get("REPRO_CACHE_DIR")

@@ -1,0 +1,6 @@
+"""Known-bad: PYTHONHASHSEED-dependent hash() in a deterministic layer."""
+__all__ = []
+
+
+def order_key(name):
+    return hash(name) % 7

@@ -1,0 +1,6 @@
+"""Known-good: ordering derived from the value itself."""
+__all__ = []
+
+
+def order_key(name):
+    return (len(name), name)

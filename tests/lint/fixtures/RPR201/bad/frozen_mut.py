@@ -1,0 +1,12 @@
+"""Known-bad: frozen dataclass mutated after construction."""
+from dataclasses import dataclass
+
+__all__ = []
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    value: float
+
+    def bump(self):
+        object.__setattr__(self, "value", self.value + 1)

@@ -1,0 +1,12 @@
+"""Known-good: frozen dataclass writes only during construction."""
+from dataclasses import dataclass
+
+__all__ = []
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    value: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", float(self.value))

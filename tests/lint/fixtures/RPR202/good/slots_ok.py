@@ -1,0 +1,14 @@
+"""Known-good: signature slots are write-once; live state may change."""
+__all__ = []
+
+
+class Running:
+    __slots__ = ("remaining", "demand", "_sig_work")
+
+    def __init__(self, demand):
+        self.remaining = 1.0
+        self.demand = demand
+        self._sig_work = (demand,)
+
+    def advance(self, units):
+        self.remaining -= units

@@ -1,0 +1,7 @@
+"""Known-bad: emits and filters on unregistered event names."""
+__all__ = []
+
+
+def emit(writer, read_telemetry, path):
+    writer.emit({"event": "bogus_event", "schema": 1})
+    return read_telemetry(path, event="also_bogus")

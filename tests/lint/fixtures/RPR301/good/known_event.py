@@ -1,0 +1,7 @@
+"""Known-good: every referenced event is registered."""
+__all__ = []
+
+
+def emit(writer, read_telemetry, path):
+    writer.emit({"event": "point", "schema": 1})
+    return read_telemetry(path, event="sweep")

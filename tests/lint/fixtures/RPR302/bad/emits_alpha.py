@@ -1,0 +1,6 @@
+"""Known-bad corpus: schema 'beta' is registered but never emitted."""
+__all__ = []
+
+
+def emit(writer):
+    writer.emit({"event": "alpha", "schema": 1})

@@ -1,0 +1,7 @@
+"""Known-good corpus: every registered schema has an emit site."""
+__all__ = []
+
+
+def emit(writer):
+    writer.emit({"event": "alpha", "schema": 1})
+    writer.emit({"event": "beta", "schema": 1})

@@ -1,0 +1,13 @@
+"""Known-good: concrete exceptions, or an annotated firewall."""
+__all__ = []
+
+
+def careful(run):
+    try:
+        run()
+    except (OSError, ValueError):
+        return None
+    try:
+        run()
+    except Exception:  # repro: lint-ok RPR401 -- outermost CLI firewall, result is re-reported
+        return None

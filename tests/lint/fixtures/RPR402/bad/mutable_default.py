@@ -1,0 +1,7 @@
+"""Known-bad: mutable defaults shared across calls."""
+__all__ = []
+
+
+def collect(item, bucket=[], index={}, seen=set()):
+    bucket.append(item)
+    return bucket, index, seen

@@ -1,0 +1,9 @@
+"""Known-good: defaults built per call."""
+__all__ = []
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

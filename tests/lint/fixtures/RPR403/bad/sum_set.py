@@ -1,0 +1,6 @@
+"""Known-bad: float sums over unordered sets."""
+__all__ = []
+
+
+def totals(values):
+    return sum({v * 0.1 for v in values}) + sum(set(values)) + sum(frozenset(values))

@@ -1,0 +1,6 @@
+"""Known-good: summation order is pinned."""
+__all__ = []
+
+
+def totals(values):
+    return sum(sorted(set(values)))

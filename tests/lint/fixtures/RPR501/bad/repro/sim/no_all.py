@@ -1,0 +1,5 @@
+"""Known-bad: public module without __all__."""
+
+
+def helper():
+    return 1

@@ -1,0 +1,6 @@
+"""Known-good: exports declared."""
+__all__ = ["helper"]
+
+
+def helper():
+    return 1

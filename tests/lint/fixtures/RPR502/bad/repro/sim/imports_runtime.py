@@ -1,0 +1,8 @@
+"""Known-bad: a sim module depending on the orchestration layer."""
+from repro.runtime.parallel import SweepExecutor
+
+__all__ = []
+
+
+def run(points):
+    return SweepExecutor(jobs=1).run(points)

@@ -1,0 +1,4 @@
+"""Known-good: imports flow upward — runtime may use sim."""
+from repro.sim.engine import RateCalculator
+
+__all__ = ["RateCalculator"]

@@ -1,0 +1,11 @@
+"""Known-good: upper-layer types may be imported for annotations only."""
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.runtime.parallel import SweepExecutor
+
+__all__ = []
+
+
+def describe(executor: "SweepExecutor") -> str:
+    return repr(executor)

@@ -146,6 +146,7 @@ class TestValidateRecordRejections:
 
     def test_unknown_event_rejected(self):
         with pytest.raises(MeasurementError, match="'explosion'"):
+            # repro: lint-ok RPR301 -- deliberately unregistered event for the rejection test
             validate_record({**self.GOOD, "event": "explosion"})
 
     def test_missing_field_named(self):

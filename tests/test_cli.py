@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -159,6 +160,82 @@ class TestChaosOptions:
             r.split() for r in clean_rows
         ]
         assert "Offline" not in captured.out
+
+
+class TestLint:
+    REPO = pathlib.Path(__file__).resolve().parents[1]
+    BAD = '"""Fixture."""\n\ndef f(x=[]):\n    return x\n'
+
+    def test_repo_is_clean(self, capsys):
+        # The merge acceptance criterion: `repro lint src tests` exits 0.
+        code = main([
+            "lint", str(self.REPO / "src"), str(self.REPO / "tests"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_1_and_name_the_rule(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR402" in out
+        assert "bad.py:3" in out
+
+    def test_json_format_writes_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        artifact = tmp_path / "lint_report.json"
+        assert main([
+            "lint", str(bad), "--format", "json", "--output", str(artifact),
+        ]) == 1
+        stdout_doc = json.loads(capsys.readouterr().out)
+        file_doc = json.loads(artifact.read_text())
+        assert stdout_doc == file_doc
+        assert file_doc["summary"]["by_rule"] == {"RPR402": 1}
+
+    def test_rule_filter(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            '"""Fixture."""\n\n'
+            "def f(x=[]):\n"
+            "    try:\n"
+            "        return x\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert main(["lint", str(bad), "--rule", "RPR401"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR401" in out
+        assert "RPR402" not in out
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        from repro.lint import all_rule_ids
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rule_ids():
+            assert rule_id in out
+
+    def test_write_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_baseline_workflow(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        baseline = tmp_path / "lint_baseline.json"
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert "1 fingerprint(s)" in capsys.readouterr().out
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_missing_path_errors(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "ghost")]) == 2
+        assert "do not exist" in capsys.readouterr().err
 
 
 class TestPerfbench:
