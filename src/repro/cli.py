@@ -12,8 +12,11 @@ without writing Python:
 * ``perfbench`` — engine performance microbenchmarks writing
   ``BENCH_sim.json`` (see ``docs/performance.md``);
 * ``lint`` — AST-based static invariant checks (determinism,
-  memo-safety, telemetry-schema integrity; see
-  ``docs/static_analysis.md``).  Exit code 1 on findings.
+  memo-safety, telemetry-schema integrity, plus the call-graph-based
+  transitive-determinism, pool-safety, and dimensional-consistency
+  families; see ``docs/static_analysis.md``).  ``--jobs N`` fans the
+  per-file pass over worker processes with identical output; exit
+  code 1 on findings, 2 on usage/configuration errors.
 
 Workloads are named as in the paper (``dft``, ``SC_d128``, ``SIFT``)
 or loaded from a JSON spec via ``--spec`` (see
@@ -172,6 +175,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static invariant checks (determinism, memo-safety, "
              "telemetry schema; see docs/static_analysis.md)",
+        epilog="exit codes: 0 no findings; 1 findings reported; "
+               "2 usage or configuration error (unknown rule id, "
+               "missing path, unreadable baseline)",
     )
     lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
                       help="files or directories to check "
@@ -182,8 +188,16 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=["text", "json"], default="text",
                       dest="fmt", help="report format (default: text)")
     lint.add_argument("--output", default=None, metavar="PATH",
-                      help="also write the report to PATH (the CI job "
-                           "uploads the JSON report as an artifact)")
+                      help="also write the report to PATH ('-' prints the "
+                           "JSON report to stdout; the CI job uploads the "
+                           "JSON report as an artifact)")
+    lint.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the per-file pass "
+                           "(1 = in-process; findings are identical and "
+                           "identically ordered either way)")
+    lint.add_argument("--graph-output", default=None, metavar="PATH",
+                      help="serialize the project call graph to PATH as "
+                           "JSON (the CI job uploads it as an artifact)")
     lint.add_argument("--baseline", default=None, metavar="PATH",
                       help="drop findings fingerprinted in this baseline "
                            "file (accepted pre-existing debt)")
@@ -468,19 +482,35 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         raise ReproError(f"lint path(s) do not exist: {', '.join(missing)}")
     if args.write_baseline and not args.baseline:
         raise ReproError("--write-baseline needs --baseline PATH")
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
     rules = build_rules(only=args.rules)
     enabled = set(args.rules) if args.rules else None
     baseline = set()
     if args.baseline and not args.write_baseline:
         baseline = load_baseline(args.baseline)
-    engine = LintEngine(rules=rules, enabled=enabled, baseline=baseline)
+    engine = LintEngine(
+        rules=rules,
+        enabled=enabled,
+        baseline=baseline,
+        jobs=args.jobs,
+        want_graph=bool(args.graph_output),
+    )
     report = engine.run([Path(p) for p in paths])
+    if args.graph_output and engine.graph is not None:
+        with open(args.graph_output, "w") as handle:
+            handle.write(engine.graph.to_json())
     if args.write_baseline:
         write_baseline(report, args.baseline)
         print(
             f"wrote {len(report.findings)} fingerprint(s) to {args.baseline}"
         )
         return 0
+    if args.output == "-":
+        # '-' means: the JSON document *is* the stdout stream (piped
+        # into jq and friends), regardless of --format.
+        print(render_json(report), end="")
+        return 1 if report.findings else 0
     rendered = render_json(report) if args.fmt == "json" else render_text(report)
     print(rendered, end="" if rendered.endswith("\n") else "\n")
     if args.output:

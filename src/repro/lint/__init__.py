@@ -9,24 +9,32 @@ one invariant the test suite otherwise only spot-checks.
 
 Layout:
 
-* :mod:`repro.lint.engine` — file walking, per-file AST dispatch,
-  suppression comments (``# repro: lint-ok RPR### -- reason``), and
-  baseline filtering;
+* :mod:`repro.lint.engine` — file walking, per-file AST dispatch
+  (optionally fanned out over ``--jobs`` worker processes with
+  byte-identical merged output), suppression comments
+  (``# repro: lint-ok RPR### -- reason``), and baseline filtering;
+* :mod:`repro.lint.graph` — the whole-program layer: per-file
+  :class:`~repro.lint.graph.summary.ModuleSummary` extraction and the
+  :class:`~repro.lint.graph.builder.ProjectGraph` symbol table / call
+  graph with deterministic reachability, which corpus-level rules
+  query;
 * :mod:`repro.lint.rules` — the rule registry.  Each rule is a class
   with a stable id (``RPR###``), a severity, and an ``autofixable``
   flag; rules are grouped into families (determinism, memo-safety,
-  telemetry, executor hygiene, API hygiene);
+  telemetry, executor hygiene, API hygiene, transitive determinism,
+  pool safety, dimensional consistency);
 * :mod:`repro.lint.reporters` — ``text`` and ``json`` renderers plus
   baseline read/write.
 
 Run it as ``python -m repro lint [paths] [--rule RPR###] [--format
-text|json] [--baseline PATH]``; the rule catalogue lives in
+text|json] [--baseline PATH] [--jobs N]``; the rule catalogue lives in
 ``docs/static_analysis.md`` (and is parity-tested against the
 registry, so it cannot drift).
 """
 
 from repro.lint.engine import (
     FileContext,
+    FileScan,
     Finding,
     LintEngine,
     LintReport,
@@ -34,6 +42,7 @@ from repro.lint.engine import (
     iter_python_files,
     layer_for_path,
 )
+from repro.lint.graph import ModuleSummary, ProjectGraph, extract_summary
 from repro.lint.reporters import (
     findings_to_baseline,
     load_baseline,
@@ -54,15 +63,19 @@ from repro.lint.rules import (
 __all__ = [
     "DETERMINISTIC_LAYERS",
     "FileContext",
+    "FileScan",
     "Finding",
     "LintEngine",
     "LintReport",
     "META_RULES",
+    "ModuleSummary",
+    "ProjectGraph",
     "RULE_FAMILIES",
     "Rule",
     "Suppressions",
     "all_rule_ids",
     "build_rules",
+    "extract_summary",
     "findings_to_baseline",
     "iter_python_files",
     "layer_for_path",

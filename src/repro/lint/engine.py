@@ -6,6 +6,15 @@ corpus-level ``finalize`` hook.  Everything rule-specific lives in
 :mod:`repro.lint.rules`; everything presentation-specific lives in
 :mod:`repro.lint.reporters`.
 
+The per-file pass (parse, per-file rules, suppression filtering,
+module-summary extraction) is a pure function of one file, so
+``jobs > 1`` fans it out over a process pool: files are chunked in
+discovery order, each worker returns picklable :class:`FileScan`
+records, and the parent merges them back in that same order — output
+is byte-identical to the serial run.  The whole-program phase that
+follows (corpus rules, project call graph, ``finalize``) always runs
+single-process in the parent, over the merged summaries.
+
 Two findings are emitted by the engine itself rather than by a rule
 class (they are registered as *meta rules* so ``--rule`` filtering,
 the docs catalogue, and the fixtures corpus treat them uniformly):
@@ -27,22 +36,31 @@ from __future__ import annotations
 
 import ast
 import re
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReproError
+from repro.lint.graph.summary import ModuleSummary, extract_summary
 
 __all__ = [
     "EXCLUDED_DIR_NAMES",
     "FileContext",
+    "FileScan",
     "Finding",
     "LintEngine",
     "LintReport",
+    "POOL_BOUNDARY",
     "Suppressions",
     "iter_python_files",
     "layer_for_path",
 ]
+
+#: Functions that execute inside ``--jobs`` worker processes (the
+#: pool-safety rules treat these as worker-reachable roots).
+POOL_BOUNDARY: Tuple[str, ...] = ("_scan_worker",)
 
 #: Directory names the recursive walker never descends into.  The lint
 #: fixtures corpus is excluded by name: its known-bad snippets exist to
@@ -235,6 +253,85 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
             raise ReproError(f"lint path does not exist: {path}")
 
 
+@dataclass(frozen=True)
+class FileScan:
+    """Picklable product of the per-file pass over one file.
+
+    ``findings`` are already suppression-filtered; the surviving
+    suppression map rides along so corpus-level findings (anchored to
+    a line of this file but produced after every file was scanned)
+    honour ``# repro: lint-ok`` directives too.
+    """
+
+    display_path: str
+    parse_failed: bool = False
+    findings: Tuple[Finding, ...] = ()
+    suppressed: int = 0
+    suppression_lines: Tuple[Tuple[int, Tuple[str, ...]], ...] = ()
+    summary: Optional[ModuleSummary] = None
+
+
+def _scan_one(
+    path: Path,
+    display_path: str,
+    rules: Sequence["Rule"],  # noqa: F821 — repro.lint.rules.base
+    known_ids: Set[str],
+    need_summary: bool,
+) -> FileScan:
+    """Parse one file, run the per-file rules, extract its summary."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return FileScan(display_path=display_path, parse_failed=True)
+    ctx = FileContext(
+        path=path,
+        display_path=display_path,
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+        layer=layer_for_path(Path(display_path)),
+    )
+    suppressions = Suppressions(ctx, known_ids)
+    raw: List[Finding] = list(suppressions.errors)
+    for rule in rules:
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        if suppressions.covers(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    summary = None
+    if need_summary:
+        summary = extract_summary(tree, display_path, ctx.layer)
+    return FileScan(
+        display_path=display_path,
+        findings=tuple(kept),
+        suppressed=suppressed,
+        suppression_lines=tuple(
+            (line, tuple(sorted(ids)))
+            for line, ids in sorted(suppressions.by_line.items())
+        ),
+        summary=summary,
+    )
+
+
+def _scan_worker(
+    batch: Sequence[Tuple[str, str]],
+    rules: Sequence["Rule"],  # noqa: F821
+    known_ids: Set[str],
+    need_summary: bool,
+) -> List[FileScan]:
+    """Worker-side entry point: scan one contiguous chunk of files."""
+    return [
+        _scan_one(Path(path), display, rules, known_ids, need_summary)
+        for path, display in batch
+    ]
+
+
 @dataclass
 class LintReport:
     """Outcome of one engine run."""
@@ -243,6 +340,8 @@ class LintReport:
     files_scanned: int
     suppressed: int = 0
     baselined: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
 
     @property
     def errors(self) -> int:
@@ -274,35 +373,71 @@ class LintEngine:
         baseline: Fingerprints of findings to drop (pre-existing debt
             that has been explicitly accepted); see
             :func:`repro.lint.reporters.load_baseline`.
+        jobs: Worker processes for the per-file pass (1 = in-process;
+            merged output is identical either way).
+        want_graph: Build the project call graph even when no enabled
+            rule asks for it (``--graph-output`` serializes it).
+
+    After :meth:`run`, :attr:`graph` holds the
+    :class:`~repro.lint.graph.builder.ProjectGraph` built for this
+    corpus, or ``None`` when nothing needed one.
     """
 
     rules: List["Rule"]  # noqa: F821 — see repro.lint.rules.base
     enabled: Optional[Set[str]] = None
     root: Optional[Path] = None
     baseline: Set[str] = field(default_factory=set)
+    jobs: int = 1
+    want_graph: bool = False
+    graph: Optional["ProjectGraph"] = field(  # noqa: F821
+        default=None, init=False, repr=False
+    )
 
     def run(self, paths: Sequence[Path]) -> LintReport:
+        started = time.monotonic()
+        if self.jobs < 1:
+            raise ReproError(f"lint --jobs must be >= 1, got {self.jobs}")
         files = list(dict.fromkeys(iter_python_files([Path(p) for p in paths])))
         known_ids = self._known_ids()
+        per_file_rules = [r for r in self.rules if not r.corpus_level]
+        corpus_rules = [r for r in self.rules if r.corpus_level]
+        build_graph = self.want_graph or any(r.needs_graph for r in self.rules)
+        need_summary = build_graph or bool(corpus_rules)
+
+        scans = self._scan_files(files, per_file_rules, known_ids, need_summary)
+
         collected: List[Finding] = []
         suppressed = 0
-        for file_path in files:
-            ctx = self._context(file_path)
-            if ctx is None:
+        for file_path, scan in zip(files, scans):
+            if scan.parse_failed:
                 collected.append(self._parse_failure(file_path))
-                continue
-            suppressions = Suppressions(ctx, known_ids)
-            file_findings = list(suppressions.errors)
-            for rule in self.rules:
-                if rule.applies_to(ctx):
-                    file_findings.extend(rule.check(ctx))
-            for finding in file_findings:
-                if suppressions.covers(finding):
+            else:
+                collected.extend(scan.findings)
+                suppressed += scan.suppressed
+
+        summaries = [s.summary for s in scans if s.summary is not None]
+        if build_graph:
+            from repro.lint.graph.builder import ProjectGraph
+
+            self.graph = ProjectGraph(summaries)
+        for rule in corpus_rules:
+            for summary in summaries:
+                rule.consume_summary(summary)
+        for rule in self.rules:
+            if rule.needs_graph and self.graph is not None:
+                rule.consume_graph(self.graph)
+
+        suppression_maps = {
+            scan.display_path: dict(scan.suppression_lines) for scan in scans
+        }
+        for rule in self.rules:
+            for finding in rule.finalize():
+                lines = suppression_maps.get(finding.path, {})
+                if finding.rule in lines.get(finding.line, ()):
                     suppressed += 1
                 else:
                     collected.append(finding)
-        for rule in self.rules:
-            collected.extend(rule.finalize())
+
         if self.enabled is not None:
             collected = [f for f in collected if f.rule in self.enabled]
         baselined = 0
@@ -320,9 +455,40 @@ class LintEngine:
             files_scanned=len(files),
             suppressed=suppressed,
             baselined=baselined,
+            wall_seconds=time.monotonic() - started,
+            jobs=self.jobs,
         )
 
     # ------------------------------------------------------------------
+
+    def _scan_files(
+        self,
+        files: Sequence[Path],
+        rules: Sequence["Rule"],  # noqa: F821
+        known_ids: Set[str],
+        need_summary: bool,
+    ) -> List[FileScan]:
+        """Per-file pass, serial or fanned out; order follows ``files``."""
+        pairs = [(str(path), self._display(path)) for path in files]
+        if self.jobs == 1 or len(files) < 2:
+            return [
+                _scan_one(Path(p), display, rules, known_ids, need_summary)
+                for p, display in pairs
+            ]
+        workers = min(self.jobs, len(pairs))
+        chunk = max(1, (len(pairs) + workers * 4 - 1) // (workers * 4))
+        batches = [
+            pairs[start:start + chunk] for start in range(0, len(pairs), chunk)
+        ]
+        scans: List[FileScan] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_scan_worker, batch, rules, known_ids, need_summary)
+                for batch in batches
+            ]
+            for future in futures:  # submission order == file order
+                scans.extend(future.result())
+        return scans
 
     def _known_ids(self) -> Set[str]:
         # A suppression naming any registered rule is well-formed even
@@ -337,21 +503,6 @@ class LintEngine:
             return path.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
             return path.as_posix()
-
-    def _context(self, path: Path) -> Optional[FileContext]:
-        try:
-            source = path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(path))
-        except (OSError, SyntaxError, ValueError):
-            return None
-        return FileContext(
-            path=path,
-            display_path=self._display(path),
-            source=source,
-            tree=tree,
-            lines=tuple(source.splitlines()),
-            layer=layer_for_path(path),
-        )
 
     def _parse_failure(self, path: Path) -> Finding:
         return Finding(

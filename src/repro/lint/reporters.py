@@ -27,7 +27,8 @@ __all__ = [
 ]
 
 #: Bump when the JSON report's shape changes.
-LINT_REPORT_VERSION = 1
+#: 2: added ``wall_seconds`` and ``jobs``.
+LINT_REPORT_VERSION = 2
 
 
 def _finding_dict(finding: Finding) -> Dict[str, Any]:
@@ -71,6 +72,8 @@ def render_json(report: LintReport) -> str:
         "files_scanned": report.files_scanned,
         "suppressed": report.suppressed,
         "baselined": report.baselined,
+        "wall_seconds": round(report.wall_seconds, 6),
+        "jobs": report.jobs,
         "summary": {
             "errors": report.errors,
             "warnings": report.warnings,

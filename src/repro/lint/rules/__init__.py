@@ -22,13 +22,28 @@ from repro.lint.rules.determinism import (
     UnseededRandomRule,
     WallClockRule,
 )
+from repro.lint.rules.dimensional import (
+    MixedUnitArithmeticRule,
+    MixedUnitComparisonRule,
+)
 from repro.lint.rules.hygiene import (
     BroadExceptRule,
     MutableDefaultRule,
     SumOverSetRule,
 )
 from repro.lint.rules.memosafety import FrozenMutationRule, MemoFieldMutationRule
+from repro.lint.rules.poolsafety import (
+    NonPicklableSubmissionRule,
+    WorkerGlobalMutationRule,
+    WorkerTelemetryRule,
+)
 from repro.lint.rules.telemetry import OrphanSchemaRule, UnregisteredEventRule
+from repro.lint.rules.transitive import (
+    TransitiveEntropyRule,
+    TransitiveEnvironmentRule,
+    TransitiveHashRule,
+    TransitiveWallClockRule,
+)
 
 __all__ = [
     "DETERMINISTIC_LAYERS",
@@ -56,6 +71,15 @@ RULE_CLASSES: Tuple[type, ...] = (
     SumOverSetRule,
     MissingAllRule,
     LayerImportRule,
+    TransitiveWallClockRule,
+    TransitiveEntropyRule,
+    TransitiveEnvironmentRule,
+    TransitiveHashRule,
+    NonPicklableSubmissionRule,
+    WorkerGlobalMutationRule,
+    WorkerTelemetryRule,
+    MixedUnitArithmeticRule,
+    MixedUnitComparisonRule,
 )
 
 #: Engine-emitted findings: id -> (title, family, severity, autofixable).
@@ -72,6 +96,9 @@ RULE_FAMILIES: Dict[str, str] = {
     "telemetry": "EVENT_SCHEMAS and emit sites agree both ways",
     "executor-hygiene": "failure signals and float ordering survive",
     "api-hygiene": "explicit exports and one-way layering",
+    "transitive-determinism": "no call path from the model layers to a sink",
+    "pool-safety": "everything crossing the process pool pickles cleanly",
+    "dimensional": "seconds, bytes, and counts never mix silently",
 }
 
 

@@ -9,6 +9,18 @@ scope) and two hooks:
 * :meth:`Rule.finalize` — called once after every file, for rules
   whose invariant spans the corpus (e.g. the orphan-schema check).
 
+Corpus-spanning rules set ``corpus_level = True``: their ``check`` is
+never shipped to ``--jobs`` worker processes (worker rule instances
+are discarded, so state accumulated there would be lost).  Instead
+the engine feeds them every file's picklable
+:class:`~repro.lint.graph.summary.ModuleSummary` through
+:meth:`Rule.consume_summary`, in deterministic file order, before
+``finalize``.  Rules that additionally set ``needs_graph = True``
+receive the assembled
+:class:`~repro.lint.graph.builder.ProjectGraph` through
+:meth:`Rule.consume_graph` (the graph is built once per run and
+shared).
+
 Rules that resolve names (``time.time``, ``np.random.rand``) share
 :class:`ImportMap`, which canonicalises call targets through the
 file's imports, so ``from time import time as now`` cannot dodge the
@@ -36,6 +48,13 @@ class Rule:
     autofixable: bool = False
     #: Restrict to these architectural layers (None = every file).
     layers: Optional[frozenset] = None
+    #: True: the rule accumulates cross-file state.  Its ``check`` never
+    #: runs (in workers or otherwise); it sees the corpus through
+    #: :meth:`consume_summary` and reports from :meth:`finalize`.
+    corpus_level: bool = False
+    #: True: the rule wants the project call graph; implies the engine
+    #: builds one and calls :meth:`consume_graph` before ``finalize``.
+    needs_graph: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         return self.layers is None or ctx.layer in self.layers
@@ -43,6 +62,12 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one file."""
         return iter(())
+
+    def consume_summary(self, summary: "ModuleSummary") -> None:  # noqa: F821
+        """Observe one file's summary (corpus-level rules only)."""
+
+    def consume_graph(self, graph: "ProjectGraph") -> None:  # noqa: F821
+        """Observe the assembled project graph (``needs_graph`` rules)."""
 
     def finalize(self) -> Iterator[Finding]:
         """Yield corpus-level findings after every file was checked."""

@@ -1,0 +1,183 @@
+"""Dimensional-consistency rules (RPR801–RPR802).
+
+The codebase carries two base dimensions (seconds and bytes) plus the
+derived counts the model works in (cycles, tasks, cache lines).  A
+latency accidentally added to a footprint type-checks — both are
+floats/ints — and produces a number that is silently wrong by nine
+orders of magnitude.  These rules run a deliberately conservative
+unit inference over every expression and flag only *known vs known
+different*:
+
+* a unit is assigned to a name/attribute by the naming convention in
+  :data:`repro.units.UNIT_SUFFIXES` (``_seconds``, ``_bytes``, ...),
+  to a constant reference via :data:`repro.units.UNIT_CONSTANTS`
+  (``46.3 * NANOSECONDS`` is seconds), and to a call via
+  :data:`repro.units.UNIT_RETURNS` (``mebibytes(2)`` is bytes);
+* literals are unit-polymorphic (``x_seconds + 1`` is fine);
+* multiplication by a numeric literal preserves the other operand's
+  unit; any other multiplication, and all division, yields *unknown*
+  (``bytes / seconds`` is a legitimate rate);
+* only ``+``/``-`` between two *different known* units (RPR801) and
+  comparisons between two *different known* units (RPR802) fire.
+
+Scoped to the library layers — tests compare quantities against
+telemetry dicts and fixture scalars in ways the convention was never
+meant to govern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import ImportMap, Rule
+from repro.units import UNIT_CONSTANTS, UNIT_RETURNS, UNIT_SUFFIXES
+
+__all__ = ["MixedUnitArithmeticRule", "MixedUnitComparisonRule"]
+
+#: Layers the convention governs (everything shipped under ``repro/``).
+_SRC_LAYERS = frozenset(
+    {
+        "analysis",
+        "core",
+        "lint",
+        "memory",
+        "root",
+        "runtime",
+        "sim",
+        "stream",
+        "workloads",
+    }
+)
+
+#: Longest suffix first, so ``_cache_lines`` wins over a hypothetical
+#: overlapping shorter suffix.
+_SUFFIXES = sorted(UNIT_SUFFIXES, key=len, reverse=True)
+
+
+def _unit_of_name(identifier: str) -> Optional[str]:
+    for suffix in _SUFFIXES:
+        if identifier == suffix or identifier.endswith("_" + suffix):
+            return UNIT_SUFFIXES[suffix]
+    return None
+
+
+class _UnitInference:
+    """Best-effort unit of an expression; ``None`` = unknown."""
+
+    def __init__(self, imports: ImportMap) -> None:
+        self._imports = imports
+
+    def unit(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            canonical = self._imports.resolve(node)
+            if canonical in UNIT_CONSTANTS:
+                return UNIT_CONSTANTS[canonical]
+            return _unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            canonical = self._imports.resolve(node)
+            if canonical in UNIT_CONSTANTS:
+                return UNIT_CONSTANTS[canonical]
+            # ``self.window_seconds`` — convention applies to the
+            # attribute name itself.
+            return _unit_of_name(node.attr)
+        if isinstance(node, ast.Call):
+            canonical = self._imports.resolve(node.func)
+            if canonical in UNIT_RETURNS:
+                return UNIT_RETURNS[canonical]
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.unit(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop_unit(node)
+        if isinstance(node, (ast.IfExp,)):
+            left = self.unit(node.body)
+            right = self.unit(node.orelse)
+            return left if left == right else None
+        return None
+
+    def _binop_unit(self, node: ast.BinOp) -> Optional[str]:
+        left = self.unit(node.left)
+        right = self.unit(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            # Mixed known units are the *finding*, handled by the rule;
+            # as a value, propagate whichever side is known.
+            return left or right
+        if isinstance(node.op, ast.Mult):
+            if isinstance(node.left, ast.Constant) and right is not None:
+                return right
+            if isinstance(node.right, ast.Constant) and left is not None:
+                return left
+        return None  # division, modulo, mixed products: unknown
+
+
+class _DimensionalRule(Rule):
+    family = "dimensional"
+    severity = "error"
+    layers = _SRC_LAYERS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        inference = _UnitInference(ImportMap(ctx.tree))
+        for node in ast.walk(ctx.tree):
+            yield from self._check_node(node, inference, ctx)
+
+    def _check_node(
+        self, node: ast.AST, inference: _UnitInference, ctx: FileContext
+    ) -> Iterator[Finding]:
+        return iter(())
+
+
+class MixedUnitArithmeticRule(_DimensionalRule):
+    """RPR801: ``+``/``-`` between two different known units."""
+
+    id = "RPR801"
+    title = "arithmetic mixes incompatible units"
+
+    def _check_node(
+        self, node: ast.AST, inference: _UnitInference, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if not isinstance(node, ast.BinOp) or not isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            return
+        left = inference.unit(node.left)
+        right = inference.unit(node.right)
+        if left is not None and right is not None and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            yield self.finding(
+                ctx,
+                node,
+                f"{left} {op} {right}: these operands carry different "
+                "units; convert one side explicitly (see repro.units) or "
+                "rename the variable if the suffix is wrong",
+            )
+
+
+class MixedUnitComparisonRule(_DimensionalRule):
+    """RPR802: comparison between two different known units."""
+
+    id = "RPR802"
+    title = "comparison across incompatible units"
+
+    def _check_node(
+        self, node: ast.AST, inference: _UnitInference, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if not isinstance(node, ast.Compare):
+            return
+        operands = [node.left] + list(node.comparators)
+        for op, first, second in zip(node.ops, operands, operands[1:]):
+            if not isinstance(
+                op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+            ):
+                continue  # membership/identity: the right side is a container
+            left = inference.unit(first)
+            right = inference.unit(second)
+            if left is not None and right is not None and left != right:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"comparing {left} against {right}: quantities in "
+                    "different units are never meaningfully ordered; "
+                    "convert one side explicitly (see repro.units)",
+                )

@@ -91,38 +91,35 @@ class UnregisteredEventRule(Rule):
 class OrphanSchemaRule(Rule):
     """RPR302: registered schema with no static emit site in the corpus.
 
-    Corpus-level: emit sites are accumulated across every checked file
-    and compared against the registry in :meth:`finalize`.  To avoid
-    screaming on partial corpora (``repro lint src/repro/units.py``),
-    the check only arms itself when the corpus contains the
-    ``EVENT_SCHEMAS`` definition itself — or always, when a schema set
-    was injected explicitly (tests and fixture corpora do this).
+    Corpus-level: the engine feeds every file's
+    :class:`~repro.lint.graph.summary.ModuleSummary` (whose
+    ``event_sites`` mirror :func:`_emit_sites`) through
+    :meth:`consume_summary` — in the parent process, so ``--jobs``
+    fan-out cannot lose the accumulated state — and the registry
+    comparison happens in :meth:`finalize`.  To avoid screaming on
+    partial corpora (``repro lint src/repro/units.py``), the check
+    only arms itself when the corpus contains the ``EVENT_SCHEMAS``
+    definition itself — or always, when a schema set was injected
+    explicitly (tests and fixture corpora do this).
     """
 
     id = "RPR302"
     title = "registered event schema never emitted"
     family = "telemetry"
     severity = "error"
+    corpus_level = True
 
     def __init__(self, schemas: Optional[Set[str]] = None) -> None:
         self._schemas = set(schemas) if schemas is not None else None
         self._emitted: Dict[str, str] = {}
         self._defining_files: List[str] = []
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for _node, name, kind in _emit_sites(ctx.tree):
+    def consume_summary(self, summary) -> None:
+        for name, kind, _lineno in summary.event_sites:
             if kind == "emit":
-                self._emitted.setdefault(name, ctx.display_path)
-        for node in ast.walk(ctx.tree):
-            targets: List[ast.expr] = []
-            if isinstance(node, ast.Assign):
-                targets = node.targets
-            elif isinstance(node, ast.AnnAssign):
-                targets = [node.target]
-            for target in targets:
-                if isinstance(target, ast.Name) and target.id == "EVENT_SCHEMAS":
-                    self._defining_files.append(ctx.display_path)
-        return iter(())
+                self._emitted.setdefault(name, summary.path)
+        if summary.defines_event_schemas:
+            self._defining_files.append(summary.path)
 
     def finalize(self) -> Iterator[Finding]:
         if self._schemas is not None:

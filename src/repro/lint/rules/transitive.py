@@ -1,0 +1,171 @@
+"""Transitive-determinism rules (RPR601–RPR604).
+
+The syntactic determinism rules (RPR101–RPR104) only see a sink when
+it sits *inside* a ``sim``/``memory``/``stream``/``core`` file.  A
+helper one hop away — a root-level utility module, a shared formatter
+— can read the wall clock on the model's behalf without tripping any
+of them.  These rules close that hole: every function in a
+deterministic layer is a reachability root, and any sink the project
+call graph can walk to from there is a finding, anchored at the sink
+with the full call path printed.
+
+Division of labour with RPR10x (one finding per sink, never two):
+
+* RPR601/603/604 skip sinks whose own file is in a deterministic
+  layer — those are RPR101/103/104's, syntactically;
+* RPR602 owns a disjoint sink set (OS entropy: ``os.urandom``,
+  ``uuid.uuid1/uuid4``, ``secrets.*``) that RPR102's global-RNG
+  tables never covered, so it fires wherever the sink lives.
+
+Findings carry the rendered shortest call path as their
+``source_line``, so baselines key on *which chain* reaches the sink
+and survive unrelated line shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import Rule
+from repro.lint.rules.determinism import DETERMINISTIC_LAYERS, _WALL_CLOCK
+
+__all__ = [
+    "TransitiveWallClockRule",
+    "TransitiveEntropyRule",
+    "TransitiveEnvironmentRule",
+    "TransitiveHashRule",
+]
+
+#: OS-entropy sources (disjoint from RPR102's global-RNG tables).
+_OS_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.choice",
+        "secrets.randbelow",
+        "secrets.randbits",
+    }
+)
+
+
+class _TransitiveRule(Rule):
+    """Shared reachability machinery for the RPR6xx family.
+
+    Subclasses implement :meth:`_sinks` to name the sink sites inside
+    one reachable function; this base walks the graph and renders
+    paths.
+    """
+
+    corpus_level = True
+    needs_graph = True
+
+    #: When False, sinks inside deterministic-layer files are skipped
+    #: (the syntactic RPR10x rule already owns them).
+    flag_inside_deterministic = False
+
+    def __init__(self) -> None:
+        self._findings: List[Finding] = []
+
+    def consume_graph(self, graph) -> None:
+        roots = [
+            node.key for node in graph.nodes_in_layers(DETERMINISTIC_LAYERS)
+        ]
+        paths = graph.reachable_from(roots)
+        seen: Dict[Tuple[str, int], bool] = {}
+        for key in sorted(paths):
+            node = graph.node(key)
+            if (
+                not self.flag_inside_deterministic
+                and node.layer in DETERMINISTIC_LAYERS
+            ):
+                continue
+            for line, detail in self._sinks(node):
+                if (node.path, line) in seen:
+                    continue
+                seen[(node.path, line)] = True
+                chain = graph.render_path(paths[key])
+                self._findings.append(
+                    Finding(
+                        rule=self.id,
+                        severity=self.severity,
+                        path=node.path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"{detail} is reachable from the deterministic "
+                            f"layers via: {chain}"
+                        ),
+                        source_line=chain,
+                    )
+                )
+
+    def _sinks(self, node) -> Iterator[Tuple[int, str]]:
+        """Yield ``(lineno, description)`` for each sink in ``node``."""
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        findings, self._findings = self._findings, []
+        return iter(findings)
+
+
+class TransitiveWallClockRule(_TransitiveRule):
+    """RPR601: wall-clock sink reachable from a deterministic layer."""
+
+    id = "RPR601"
+    title = "wall-clock reachable from a deterministic layer"
+    family = "transitive-determinism"
+    severity = "error"
+
+    def _sinks(self, node) -> Iterator[Tuple[int, str]]:
+        for call in node.summary.calls:
+            if call.canonical in _WALL_CLOCK:
+                yield call.lineno, f"{call.canonical}()"
+
+
+class TransitiveEntropyRule(_TransitiveRule):
+    """RPR602: OS-entropy source reachable from a deterministic layer."""
+
+    id = "RPR602"
+    title = "OS entropy reachable from a deterministic layer"
+    family = "transitive-determinism"
+    severity = "error"
+    # RPR102's tables do not cover OS entropy, so this rule owns these
+    # sinks everywhere — deterministic layers included.
+    flag_inside_deterministic = True
+
+    def _sinks(self, node) -> Iterator[Tuple[int, str]]:
+        for call in node.summary.calls:
+            if call.canonical in _OS_ENTROPY:
+                yield call.lineno, f"{call.canonical}()"
+
+
+class TransitiveEnvironmentRule(_TransitiveRule):
+    """RPR603: environment read reachable from a deterministic layer."""
+
+    id = "RPR603"
+    title = "environment read reachable from a deterministic layer"
+    family = "transitive-determinism"
+    severity = "error"
+
+    def _sinks(self, node) -> Iterator[Tuple[int, str]]:
+        for lineno in node.summary.env_reads:
+            yield lineno, "an os.environ/os.getenv read"
+
+
+class TransitiveHashRule(_TransitiveRule):
+    """RPR604: built-in ``hash()`` reachable from a deterministic layer."""
+
+    id = "RPR604"
+    title = "built-in hash() reachable from a deterministic layer"
+    family = "transitive-determinism"
+    severity = "error"
+
+    def _sinks(self, node) -> Iterator[Tuple[int, str]]:
+        for lineno in node.summary.hash_calls:
+            yield lineno, "a built-in hash() call"

@@ -116,6 +116,7 @@ from repro.workloads.spec import parse_workload_spec
 from repro.workloads.streamcluster import StreamclusterWorkload
 
 __all__ = [
+    "POOL_BOUNDARY",
     "SweepPoint",
     "PointResult",
     "PointFailure",
@@ -126,6 +127,14 @@ __all__ = [
     "build_machine_from_spec",
     "build_policy_from_spec",
 ]
+
+#: Functions that execute inside pool worker processes.  This is the
+#: machine-readable annotation of the process-pool boundary: the
+#: pool-safety lint rules (RPR7xx) treat every function listed here —
+#: and everything reachable from it — as worker-side code that must
+#: pickle cleanly, never mutate module globals, and never emit
+#: telemetry directly.
+POOL_BOUNDARY: Tuple[str, ...] = ("_pool_run_point",)
 
 #: Consecutive pool breaks with no injected crash in flight tolerated
 #: before the executor gives up (a real, repeating environment

@@ -18,6 +18,9 @@ __all__ = [
     "MIB",
     "GIB",
     "CACHE_LINE_BYTES",
+    "UNIT_CONSTANTS",
+    "UNIT_RETURNS",
+    "UNIT_SUFFIXES",
     "kibibytes",
     "mebibytes",
     "gibibytes",
@@ -38,6 +41,45 @@ GIB = 1024 * MIB
 #: Cache-line granularity of the modelled memory system (DDR3 burst to a
 #: 64-byte line, the Nehalem line size used throughout the paper).
 CACHE_LINE_BYTES = 64
+
+
+#: Dimension of each constant above, keyed by its canonical dotted
+#: name.  The dimensional-consistency lint rules (RPR8xx) seed their
+#: inference from these tables, so a new constant or helper gets unit
+#: checking by adding one entry here rather than editing the linter.
+#: The SI time factors are *seconds-denominated* (``46.3 *
+#: NANOSECONDS`` is a value in seconds), so they all carry "seconds".
+UNIT_CONSTANTS = {
+    "repro.units.SECONDS": "seconds",
+    "repro.units.MILLISECONDS": "seconds",
+    "repro.units.MICROSECONDS": "seconds",
+    "repro.units.NANOSECONDS": "seconds",
+    "repro.units.KIB": "bytes",
+    "repro.units.MIB": "bytes",
+    "repro.units.GIB": "bytes",
+    "repro.units.CACHE_LINE_BYTES": "bytes",
+}
+
+#: Dimension of each helper's return value (``None`` marks helpers
+#: returning dimensionless renderings).
+UNIT_RETURNS = {
+    "repro.units.kibibytes": "bytes",
+    "repro.units.mebibytes": "bytes",
+    "repro.units.gibibytes": "bytes",
+    "repro.units.cache_lines": "cache_lines",
+}
+
+#: Naming convention -> dimension.  A variable or attribute named
+#: exactly ``seconds`` or ending in ``_seconds`` is a duration, and so
+#: on.  Deliberately short and exact-match: generic suffixes ("lines",
+#: "count") would tag names that never meant a unit.
+UNIT_SUFFIXES = {
+    "seconds": "seconds",
+    "bytes": "bytes",
+    "cycles": "cycles",
+    "tasks": "tasks",
+    "cache_lines": "cache_lines",
+}
 
 
 def kibibytes(n: float) -> int:

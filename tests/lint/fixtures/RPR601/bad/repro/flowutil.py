@@ -1,0 +1,8 @@
+"""Root-layer helper between the model and the clock."""
+from repro.clockutil import stamp
+
+__all__ = ["step"]
+
+
+def step(now_seconds):
+    return stamp() + now_seconds

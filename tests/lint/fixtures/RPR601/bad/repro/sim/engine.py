@@ -1,0 +1,8 @@
+"""Known-bad: the tick path reaches time.time() two hops away."""
+from repro.flowutil import step
+
+__all__ = ["tick"]
+
+
+def tick(now_seconds):
+    return step(now_seconds)

@@ -1,0 +1,8 @@
+"""Known-good: simulated time is threaded through explicitly."""
+from repro.flowutil import step
+
+__all__ = ["tick"]
+
+
+def tick(now_seconds):
+    return step(now_seconds)

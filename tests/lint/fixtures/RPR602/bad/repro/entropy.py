@@ -1,0 +1,8 @@
+"""Root-layer helper drawing OS entropy."""
+import os
+
+__all__ = ["fresh_seed"]
+
+
+def fresh_seed():
+    return int.from_bytes(os.urandom(8), "big")

@@ -1,0 +1,8 @@
+"""Known-bad: noise seeding reaches os.urandom through a helper."""
+from repro.entropy import fresh_seed
+
+__all__ = ["noise_for_point"]
+
+
+def noise_for_point(index):
+    return fresh_seed() + index

@@ -1,0 +1,7 @@
+"""Root-layer helper deriving seeds deterministically."""
+
+__all__ = ["derived_seed"]
+
+
+def derived_seed(index):
+    return (index * 2654435761) % (2 ** 32)

@@ -1,0 +1,8 @@
+"""Root-layer helper reading the process environment."""
+import os
+
+__all__ = ["lookup"]
+
+
+def lookup(name, default):
+    return int(os.environ.get(name, default))

@@ -1,0 +1,8 @@
+"""Known-bad: model configuration reaches os.environ via a helper."""
+from repro.envutil import lookup
+
+__all__ = ["channel_count"]
+
+
+def channel_count():
+    return lookup("REPRO_CHANNELS", 1)

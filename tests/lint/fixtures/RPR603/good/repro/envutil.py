@@ -1,0 +1,7 @@
+"""Root-layer helper with no environment access."""
+
+__all__ = ["clamp"]
+
+
+def clamp(value, low, high):
+    return max(low, min(high, value))

@@ -1,0 +1,8 @@
+"""Known-good: configuration arrives through parameters."""
+from repro.envutil import clamp
+
+__all__ = ["channel_count"]
+
+
+def channel_count(requested):
+    return clamp(requested, 1, 2)

@@ -1,0 +1,7 @@
+"""Root-layer helper using the salted built-in hash."""
+
+__all__ = ["key_of"]
+
+
+def key_of(name):
+    return hash(name) % 1024

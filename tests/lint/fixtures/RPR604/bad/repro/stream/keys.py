@@ -1,0 +1,8 @@
+"""Known-bad: task keying reaches built-in hash() via a helper."""
+from repro.hashutil import key_of
+
+__all__ = ["task_key"]
+
+
+def task_key(name):
+    return key_of(name)

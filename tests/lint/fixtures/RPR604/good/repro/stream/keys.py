@@ -1,0 +1,8 @@
+"""Known-good: keys come from stable string identity."""
+from repro.hashutil import key_of
+
+__all__ = ["task_key"]
+
+
+def task_key(name):
+    return key_of(name)

@@ -1,0 +1,19 @@
+"""Known-bad: lambdas and bound methods cross the pool boundary."""
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["Runner", "run_points"]
+
+
+def run_points(points):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda p: p * 2, point) for point in points]
+    return [future.result() for future in futures]
+
+
+class Runner:
+    def _work(self, point):
+        return point * 2
+
+    def run(self, points):
+        with ProcessPoolExecutor() as pool:
+            return [pool.submit(self._work, p).result() for p in points]

@@ -1,0 +1,26 @@
+"""Known-good: only top-level callables are submitted.
+
+The dynamic dispatch below is unresolvable on purpose — the rule must
+degrade to "unknown callee" rather than over-report.
+"""
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["run_dynamic", "run_points", "work"]
+
+
+def work(point):
+    return point * 2
+
+
+def run_points(points):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, point) for point in points]
+    return [future.result() for future in futures]
+
+
+def run_dynamic(points, strategy):
+    import repro.runtime.exec as this_module
+
+    target = getattr(this_module, strategy)
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(target, p).result() for p in points]

@@ -1,0 +1,18 @@
+"""Known-bad: a worker-reachable helper mutates a module global."""
+
+__all__ = ["worker_entry"]
+
+POOL_BOUNDARY = ("worker_entry",)
+
+_CALLS = 0
+
+
+def _bump():
+    global _CALLS
+    _CALLS += 1
+    return _CALLS
+
+
+def worker_entry(point):
+    _bump()
+    return point * 2

@@ -1,0 +1,20 @@
+"""Known-good: the worker is pure; the parent keeps the counter."""
+
+__all__ = ["parent_loop", "worker_entry"]
+
+POOL_BOUNDARY = ("worker_entry",)
+
+_CALLS = 0
+
+
+def worker_entry(point):
+    return point * 2
+
+
+def parent_loop(points):
+    global _CALLS
+    results = []
+    for point in points:
+        _CALLS += 1
+        results.append(worker_entry(point))
+    return results

@@ -1,0 +1,21 @@
+"""Known-bad: a worker emits telemetry outside the sanctioned channel."""
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runtime.telemetry import TelemetryWriter
+
+__all__ = ["run", "worker_entry"]
+
+
+def _log(point):
+    writer = TelemetryWriter()
+    writer.emit({"event": "point_done", "point": point})
+
+
+def worker_entry(point):
+    _log(point)
+    return point * 2
+
+
+def run(points):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(worker_entry, p).result() for p in points]

@@ -1,0 +1,18 @@
+"""Known-good: workers return data; the parent emits telemetry."""
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runtime.telemetry import TelemetryWriter
+
+__all__ = ["run", "worker_entry"]
+
+
+def worker_entry(point):
+    return point * 2
+
+
+def run(points):
+    with ProcessPoolExecutor() as pool:
+        results = [pool.submit(worker_entry, p).result() for p in points]
+    writer = TelemetryWriter()
+    writer.emit({"event": "batch_done", "count": len(results)})
+    return results

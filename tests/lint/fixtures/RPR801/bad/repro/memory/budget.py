@@ -1,0 +1,12 @@
+"""Known-bad: seconds and bytes are added as if commensurable."""
+from repro.units import MIB
+
+__all__ = ["broken_budget", "broken_total"]
+
+
+def broken_budget(latency_seconds, footprint_bytes):
+    return latency_seconds + footprint_bytes
+
+
+def broken_total(deadline_seconds):
+    return deadline_seconds - 4 * MIB

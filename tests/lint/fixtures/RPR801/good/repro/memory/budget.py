@@ -1,0 +1,16 @@
+"""Known-good: arithmetic stays within one unit (or forms a rate)."""
+from repro.units import NANOSECONDS
+
+__all__ = ["bandwidth", "slack_seconds", "total_bytes"]
+
+
+def slack_seconds(deadline_seconds, latency_seconds):
+    return deadline_seconds - latency_seconds + 45.0 * NANOSECONDS
+
+
+def total_bytes(footprint_bytes, overhead_bytes):
+    return footprint_bytes + 2 * overhead_bytes
+
+
+def bandwidth(moved_bytes, window_seconds):
+    return moved_bytes / window_seconds

@@ -1,0 +1,12 @@
+"""Known-bad: quantities in different units are ordered."""
+from repro.units import cache_lines
+
+__all__ = ["misfit", "overrun"]
+
+
+def overrun(elapsed_seconds, footprint_bytes):
+    return elapsed_seconds > footprint_bytes
+
+
+def misfit(window_seconds, lines):
+    return cache_lines(lines) >= window_seconds

@@ -1,0 +1,15 @@
+"""Known-good: comparisons stay within one unit; membership is fine."""
+
+__all__ = ["fits", "overran", "seen_before"]
+
+
+def overran(elapsed_seconds, deadline_seconds):
+    return elapsed_seconds > deadline_seconds
+
+
+def fits(footprint_bytes, budget_bytes):
+    return footprint_bytes <= budget_bytes
+
+
+def seen_before(chunk_bytes, seen_bytes):
+    return chunk_bytes in seen_bytes

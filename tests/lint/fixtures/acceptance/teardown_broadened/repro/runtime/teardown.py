@@ -1,0 +1,14 @@
+"""Acceptance corpus: the pool-teardown kill loop with its exception
+narrowing deleted (``except Exception`` instead of
+``except (OSError, ValueError)``)."""
+
+__all__ = ["kill_pool"]
+
+
+def kill_pool(pool):
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.kill()
+        except Exception:
+            pass

@@ -1,0 +1,8 @@
+"""Hop two: the wall-clock read two hops below the engine."""
+import time
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    return time.time()

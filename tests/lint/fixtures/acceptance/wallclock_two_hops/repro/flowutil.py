@@ -1,0 +1,8 @@
+"""Hop one: a root-layer flow helper the engine calls."""
+from repro.clockutil import stamp
+
+__all__ = ["step"]
+
+
+def step(now_seconds):
+    return stamp() + now_seconds

@@ -1,0 +1,8 @@
+"""Acceptance corpus: the engine entry point, clean in itself."""
+from repro.flowutil import step
+
+__all__ = ["tick"]
+
+
+def tick(now_seconds):
+    return step(now_seconds)

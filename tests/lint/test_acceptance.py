@@ -1,0 +1,59 @@
+"""Acceptance corpora: the two seeded-defect scenarios from the issue.
+
+Unlike the per-rule sweep in ``test_fixtures.py`` (one rule at a time),
+these corpora run under the FULL rule set and must produce *exactly
+one* finding each — proving both that the seeded defect is caught and
+that no other rule false-positives on otherwise-clean code:
+
+* ``acceptance/wallclock_two_hops`` — a ``time.time()`` call two hops
+  below ``sim/engine.py`` (engine -> flow helper -> clock helper, the
+  last two in the root layer where the per-file RPR101 does not look);
+* ``acceptance/teardown_broadened`` — the ``runtime/parallel.py``
+  pool-teardown kill loop with its ``except (OSError, ValueError)``
+  narrowing deleted in favour of ``except Exception``.
+"""
+
+import pathlib
+
+from repro.lint import LintEngine, build_rules
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+ACCEPTANCE = FIXTURES / "acceptance"
+
+
+def run_full(corpus):
+    engine = LintEngine(rules=build_rules(), root=FIXTURES)
+    return engine.run([corpus])
+
+
+class TestWallClockTwoHopsBelowEngine:
+    def test_exactly_one_finding(self):
+        report = run_full(ACCEPTANCE / "wallclock_two_hops")
+        assert len(report.findings) == 1, [
+            f"{f.rule}: {f.message}" for f in report.findings
+        ]
+
+    def test_finding_is_transitive_and_prints_the_full_path(self):
+        (finding,) = run_full(ACCEPTANCE / "wallclock_two_hops").findings
+        assert finding.rule == "RPR601"
+        assert (
+            "repro.sim.engine.tick -> repro.flowutil.step"
+            " -> repro.clockutil.stamp" in finding.message
+        )
+
+    def test_finding_lands_on_the_sink_file(self):
+        (finding,) = run_full(ACCEPTANCE / "wallclock_two_hops").findings
+        assert finding.path.endswith("clockutil.py")
+
+
+class TestTeardownNarrowingDeleted:
+    def test_exactly_one_finding(self):
+        report = run_full(ACCEPTANCE / "teardown_broadened")
+        assert len(report.findings) == 1, [
+            f"{f.rule}: {f.message}" for f in report.findings
+        ]
+
+    def test_finding_is_the_broad_except(self):
+        (finding,) = run_full(ACCEPTANCE / "teardown_broadened").findings
+        assert finding.rule == "RPR401"
+        assert "Exception" in finding.message

@@ -200,9 +200,74 @@ class TestReporters:
 
     def test_json_report_is_machine_readable(self, tmp_path):
         document = json.loads(render_json(self.make_report(tmp_path)))
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["summary"]["errors"] == 1
         assert document["summary"]["by_rule"] == {"RPR402": 1}
         (finding,) = document["findings"]
         assert finding["rule"] == "RPR402"
         assert finding["fingerprint"].startswith("RPR402:")
+
+    def test_json_report_carries_wall_time_and_jobs(self, tmp_path):
+        document = json.loads(render_json(self.make_report(tmp_path)))
+        assert document["jobs"] == 1
+        assert isinstance(document["wall_seconds"], float)
+        assert document["wall_seconds"] >= 0.0
+
+
+class TestParallelScan:
+    def corpus(self, tmp_path):
+        for index in range(6):
+            (tmp_path / f"m{index}.py").write_text(
+                f"def f{index}(x=[], y={{}}):\n    return x, y\n"
+            )
+        return tmp_path
+
+    def run_jobs(self, paths, jobs):
+        engine = LintEngine(rules=build_rules(), jobs=jobs)
+        return engine.run(paths)
+
+    def test_parallel_findings_match_serial_exactly(self, tmp_path):
+        corpus = self.corpus(tmp_path)
+        serial = self.run_jobs([corpus], jobs=1)
+        fanned = self.run_jobs([corpus], jobs=3)
+        serial_doc = json.loads(render_json(serial))
+        fanned_doc = json.loads(render_json(fanned))
+        for document in (serial_doc, fanned_doc):
+            document.pop("wall_seconds")
+            document.pop("jobs")
+        assert serial_doc == fanned_doc  # only wall_seconds/jobs may differ
+        assert serial.files_scanned == fanned.files_scanned == 6
+        assert fanned.jobs == 3
+
+    def test_parallel_suppressions_still_counted(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(
+            "def f(x=[]):  # repro: lint-ok RPR402 -- exercised in parallel\n"
+            "    return x\n"
+        )
+        (tmp_path / "n.py").write_text("__all__ = []\n")
+        report = self.run_jobs([tmp_path], jobs=2)
+        assert not report.findings
+        assert report.suppressed == 1
+
+    def test_zero_jobs_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="jobs"):
+            self.run_jobs([self.corpus(tmp_path)], jobs=0)
+
+    def test_graph_rules_run_in_parent_after_fanout(self, tmp_path):
+        spine = tmp_path / "repro" / "sim"
+        spine.mkdir(parents=True)
+        (spine / "engine.py").write_text(
+            '"""Det layer."""\n\nfrom repro.clockutil import stamp\n\n'
+            '__all__ = ["tick"]\n\n\ndef tick():\n    return stamp()\n'
+        )
+        (tmp_path / "repro" / "clockutil.py").write_text(
+            '"""Clock."""\n\nimport time\n\n__all__ = ["stamp"]\n\n\n'
+            "def stamp():\n    return time.time()\n"
+        )
+        serial = self.run_jobs([tmp_path], jobs=1)
+        fanned = self.run_jobs([tmp_path], jobs=2)
+        assert [f.rule for f in serial.findings] == ["RPR601"]
+        assert [f.sort_key() for f in serial.findings] == [
+            f.sort_key() for f in fanned.findings
+        ]

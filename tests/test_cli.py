@@ -237,6 +237,55 @@ class TestLint:
         assert main(["lint", str(tmp_path / "ghost")]) == 2
         assert "do not exist" in capsys.readouterr().err
 
+    def test_output_dash_streams_json_to_stdout(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        assert main(["lint", str(bad), "--output", "-"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["by_rule"] == {"RPR402": 1}
+        assert document["jobs"] == 1
+
+    def test_jobs_output_matches_serial(self, capsys, tmp_path):
+        for index in range(4):
+            (tmp_path / f"bad{index}.py").write_text(self.BAD)
+        assert main(["lint", str(tmp_path), "--output", "-"]) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert main(
+            ["lint", str(tmp_path), "--output", "-", "--jobs", "2"]
+        ) == 1
+        fanned = json.loads(capsys.readouterr().out)
+        for document in (serial, fanned):
+            document.pop("wall_seconds")
+            document.pop("jobs")
+        assert serial == fanned
+
+    def test_jobs_must_be_positive(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_graph_output_writes_call_graph_artifact(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        artifact = tmp_path / "callgraph.json"
+        assert main(
+            ["lint", str(bad), "--graph-output", str(artifact)]
+        ) == 1
+        capsys.readouterr()
+        document = json.loads(artifact.read_text())
+        assert document["version"] == 1
+        assert document["files"] == 1
+        assert {"key", "edges", "unknown_callees"} <= set(
+            document["nodes"][0]
+        )
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "0 no findings" in out
+
 
 class TestPerfbench:
     def test_quick_report_with_profile_telemetry_and_check(
