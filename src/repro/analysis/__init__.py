@@ -21,7 +21,12 @@ from repro.analysis.stats import (
     linear_fit,
     stdev,
 )
-from repro.analysis.tables import format_percent, format_speedup, render_table
+from repro.analysis.tables import (
+    format_percent,
+    format_speedup,
+    render_policy_matrix,
+    render_table,
+)
 
 __all__ = [
     "LinearFit",
@@ -35,6 +40,7 @@ __all__ = [
     "geomean_improvement",
     "geometric_mean",
     "linear_fit",
+    "render_policy_matrix",
     "render_table",
     "render_timeline",
     "result_to_dict",

@@ -11,11 +11,17 @@ consistent style::
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Sequence
 
+from repro.analysis.stats import geometric_mean
 from repro.errors import MeasurementError
 
-__all__ = ["render_table", "format_percent", "format_speedup"]
+__all__ = [
+    "render_table",
+    "render_policy_matrix",
+    "format_percent",
+    "format_speedup",
+]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -40,6 +46,42 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     for row in cells[1:]:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_policy_matrix(
+    policy_names: Sequence[str],
+    workload_names: Sequence[str],
+    speedups: Mapping[str, Mapping[str, float]],
+) -> str:
+    """Policies x workloads speedup matrix with a geomean column.
+
+    One row per policy, one column per workload, plus a trailing
+    geometric-mean column — the cross-policy comparison table the
+    registry-wide benchmark prints.
+
+    Args:
+        policy_names: Row order.
+        workload_names: Column order.
+        speedups: ``workload -> policy -> speedup``; every
+            (workload, policy) cell must be present.
+    """
+    rows = []
+    for policy in policy_names:
+        cells = [policy]
+        values = []
+        for workload in workload_names:
+            per_policy = speedups.get(workload)
+            if per_policy is None or policy not in per_policy:
+                raise MeasurementError(
+                    f"no speedup for policy {policy!r} on workload "
+                    f"{workload!r}; the matrix needs every cell"
+                )
+            values.append(per_policy[policy])
+            cells.append(format_speedup(per_policy[policy]))
+        cells.append(format_speedup(geometric_mean(values)))
+        rows.append(cells)
+    headers = ["Policy"] + [str(w) for w in workload_names] + ["geomean"]
+    return render_table(headers, rows)
 
 
 def format_percent(value: float, decimals: int = 2) -> str:

@@ -4,6 +4,10 @@
 without writing Python:
 
 * ``list-workloads`` — registered workloads and their pair counts;
+* ``list-policies`` — the registered throttling policies, their
+  parameters, and one-line summaries (the policy registry,
+  :mod:`repro.core.registry`); ``run``, ``compare``, and ``suite``
+  accept any of them as ``NAME[:key=value,...]``;
 * ``ratio WORKLOAD`` — measure a workload's ``T_m1/T_c`` (Table II/III);
 * ``run WORKLOAD`` — simulate under a policy and report speedup,
   selected MTL, and optionally the schedule gantt;
@@ -53,10 +57,11 @@ from repro.analysis import (
     render_table,
 )
 from repro.core import (
-    DynamicThrottlingPolicy,
-    FixedMtlPolicy,
-    OnlineExhaustivePolicy,
+    build_policy,
     conventional_policy,
+    parse_policy_arg,
+    policy_catalogue,
+    policy_entry,
     predict_speedup_curve,
 )
 from repro.errors import ReproError
@@ -67,6 +72,7 @@ from repro.runtime import (
     SweepExecutor,
     SweepPoint,
     TelemetryWriter,
+    all_policy_specs,
     compare_policies_grid,
     measure_ratio,
     offline_best_static_factory,
@@ -124,6 +130,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-workloads", help="list registered workloads")
 
+    sub.add_parser(
+        "list-policies",
+        help="list registered throttling policies and their parameters",
+    )
+
     ratio = sub.add_parser("ratio", help="measure a workload's T_m1/T_c")
     add_workload_options(ratio)
     add_machine_options(ratio)
@@ -134,7 +145,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--policy",
         default="dynamic",
-        help="dynamic | conventional | online | offline | static:K",
+        help="registered policy name, optionally with parameters as "
+             "NAME:key=value[,key=value...] (see list-policies); also "
+             "offline and the static:K shorthand",
     )
     run.add_argument("--gantt", action="store_true",
                      help="render the schedule as ASCII")
@@ -147,6 +160,15 @@ def _build_parser() -> argparse.ArgumentParser:
     add_workload_options(compare)
     add_machine_options(compare)
     add_executor_options(compare)
+    compare.add_argument(
+        "--policies", nargs="*", default=None, metavar="NAME[:k=v,...]",
+        help="policies to compare (registered names with optional "
+             "parameters; default: the Figure 14 trio)",
+    )
+    compare.add_argument(
+        "--all-policies", action="store_true",
+        help="compare every registered policy (see list-policies)",
+    )
 
     characterize_cmd = sub.add_parser(
         "characterize",
@@ -168,6 +190,11 @@ def _build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--workloads", nargs="*", default=None,
         help="workload names (default: the Figure 14 trio)",
+    )
+    suite.add_argument(
+        "--policies", nargs="*", default=None, metavar="NAME[:k=v,...]",
+        help="policies for the grid (registered names with optional "
+             "parameters; default: dynamic, static-1, static-2)",
     )
     add_executor_options(suite)
 
@@ -302,21 +329,31 @@ def _machine(args: argparse.Namespace):
 
 
 def _make_policy(name: str, program: StreamProgram, machine, window_pairs: int):
-    n = machine.context_count
-    if name == "dynamic":
-        return DynamicThrottlingPolicy(context_count=n, window_pairs=window_pairs)
-    if name == "conventional":
-        return conventional_policy(n)
-    if name == "online":
-        return OnlineExhaustivePolicy(context_count=n, window_pairs=window_pairs)
+    """Build the policy ``--policy`` names, via the registry.
+
+    Two spellings bypass the registry: ``offline`` (a meta-procedure,
+    not a registered policy) and the legacy ``static:K`` shorthand for
+    ``static:mtl=K``.
+    """
     if name == "offline":
         return offline_best_static_factory(program, machine)()
-    if name.startswith("static:"):
-        return FixedMtlPolicy(int(name.split(":", 1)[1]))
-    raise ReproError(
-        f"unknown policy {name!r}; use dynamic | conventional | online | "
-        "offline | static:K"
-    )
+    if name.startswith("static:") and "=" not in name:
+        tail = name.split(":", 1)[1]
+        try:
+            name = f"static:mtl={int(tail)}"
+        except ValueError:
+            raise ReproError(
+                f"unknown policy {name!r}; use static:K or static:mtl=K"
+            ) from None
+    kind, params = parse_policy_arg(name)
+    # --window-pairs feeds every policy that monitors in windows,
+    # unless the arg already pins W explicitly.
+    if (
+        policy_entry(kind).param("window_pairs") is not None
+        and "window_pairs" not in params
+    ):
+        params["window_pairs"] = window_pairs
+    return build_policy(kind, machine.context_count, params)
 
 
 def _cmd_list_workloads() -> int:
@@ -326,6 +363,29 @@ def _cmd_list_workloads() -> int:
     ]
     print(render_table(["workload", "task pairs"], rows))
     return 0
+
+
+def _cmd_list_policies() -> int:
+    rows = []
+    for entry in policy_catalogue():
+        params = ", ".join(
+            f"{p['name']}={p['default']}" for p in entry["params"]
+        )
+        rows.append([entry["name"], params or "-", entry["summary"]])
+    print(render_table(["policy", "parameters", "summary"], rows))
+    return 0
+
+
+def _policy_specs_from_args(args: argparse.Namespace) -> Mapping[str, Any]:
+    """Turn ``--policies NAME[:k=v,...]`` into name-keyed specs."""
+    specs = {}
+    for text in args.policies:
+        kind, params = parse_policy_arg(text)
+        name = text if text != kind else kind
+        if name in specs:
+            raise ReproError(f"policy {name!r} given twice in --policies")
+        specs[name] = {"kind": kind, **params}
+    return specs
 
 
 def _cmd_ratio(args: argparse.Namespace) -> int:
@@ -368,9 +428,17 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.all_policies and args.policies:
+        raise ReproError("give --policies or --all-policies, not both")
+    if args.all_policies:
+        policies = all_policy_specs()
+    elif args.policies:
+        policies = _policy_specs_from_args(args)
+    else:
+        policies = paper_policy_specs()
     result = compare_policies_grid(
         _workload_spec_from_args(args),
-        paper_policy_specs(),
+        policies,
         machine={"preset": "i7_860", "channels": args.channels, "smt": args.smt},
         executor=_executor_from_args(args),
     )
@@ -443,11 +511,14 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         {"preset": "i7_860", "channels": 1},
         {"preset": "i7_860", "channels": 2},
     ]
-    policies = {
-        "dynamic": {"kind": "dynamic"},
-        "static-1": {"kind": "static", "mtl": 1},
-        "static-2": {"kind": "static", "mtl": 2},
-    }
+    if args.policies:
+        policies = _policy_specs_from_args(args)
+    else:
+        policies = {
+            "dynamic": {"kind": "dynamic"},
+            "static-1": {"kind": "static", "mtl": 1},
+            "static-2": {"kind": "static", "mtl": 2},
+        }
     result = run_suite_grid(
         workloads, machines, policies, executor=_executor_from_args(args)
     )
@@ -562,6 +633,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list-workloads":
             return _cmd_list_workloads()
+        if args.command == "list-policies":
+            return _cmd_list_policies()
         if args.command == "ratio":
             return _cmd_ratio(args)
         if args.command == "run":

@@ -9,16 +9,49 @@
   two-candidate pruned space (Section IV-C).
 * :mod:`repro.core.throttle` — the run-time dynamic throttling policy
   assembling the three pieces.
-* :mod:`repro.core.policies` — the Online Exhaustive Search baseline
-  and re-exports of the static policies.
+* :mod:`repro.core.plugin` — the :class:`ThrottlePolicyPlugin`
+  protocol every policy implements (setup/update hooks, per-plugin
+  stat registration) and the registration primitives.
+* :mod:`repro.core.registry` — the name-keyed policy registry the
+  CLI, suite, and experiment layers build policies through.
+* :mod:`repro.core.policies` — the static policies and the Online
+  Exhaustive Search baseline.
+* :mod:`repro.core.slowdown` — the per-pair slowdown estimator the
+  fairness/QoS policies share.
+* :mod:`repro.core.mise` — MISE-style slowdown-fairness policy.
+* :mod:`repro.core.qos` — slowdown-cap QoS policy.
+* :mod:`repro.core.budget` — windowed activation-budget throttler
+  with per-window context blacklists.
 * :mod:`repro.core.offline` — the Offline Exhaustive Search driver.
 """
 
 from repro.core.adaptive import AdaptiveWindowThrottlingPolicy
+from repro.core.budget import ActivationBudgetPolicy
+from repro.core.mise import (
+    MiseFairnessPolicy,
+    SlowdownDrivenPolicy,
+    SlowdownSelectionEvent,
+)
 from repro.core.model import AnalyticalModel, MtlPrediction, predict_speedup_curve
 from repro.core.offline import OfflineSearchOutcome, offline_exhaustive_search
 from repro.core.phase import PairSample, PhaseChangeDetector, WindowStats
+from repro.core.plugin import (
+    PolicyEntry,
+    PolicyParam,
+    PolicyStats,
+    ThrottlePolicyPlugin,
+    register_policy,
+    registered_policies,
+)
+from repro.core.qos import QosGuaranteePolicy
 from repro.core.regions import SMtlRegion, s_mtl_regions
+from repro.core.registry import (
+    build_policy,
+    parse_policy_arg,
+    policy_catalogue,
+    policy_entry,
+    policy_names,
+)
 from repro.core.policies import (
     FixedMtlPolicy,
     OnlineExhaustivePolicy,
@@ -26,26 +59,53 @@ from repro.core.policies import (
     conventional_policy,
 )
 from repro.core.selection import MtlDecision, MtlSelector
-from repro.core.throttle import DynamicThrottlingPolicy, SelectionEvent
+from repro.core.slowdown import (
+    PairLoad,
+    SlowdownProfile,
+    estimate_pair_slowdowns,
+    linear_latency_factor,
+)
+from repro.core.throttle import DynamicThrottlingPolicy, PairAssembler, SelectionEvent
 
 __all__ = [
+    "ActivationBudgetPolicy",
     "AdaptiveWindowThrottlingPolicy",
     "AnalyticalModel",
     "DynamicThrottlingPolicy",
     "FixedMtlPolicy",
+    "MiseFairnessPolicy",
     "MtlDecision",
     "MtlPrediction",
     "MtlSelector",
     "OfflineSearchOutcome",
     "OnlineExhaustivePolicy",
     "OnlineSelectionEvent",
+    "PairAssembler",
+    "PairLoad",
     "PairSample",
     "PhaseChangeDetector",
+    "PolicyEntry",
+    "PolicyParam",
+    "PolicyStats",
+    "QosGuaranteePolicy",
     "SMtlRegion",
     "SelectionEvent",
-    "s_mtl_regions",
+    "SlowdownDrivenPolicy",
+    "SlowdownProfile",
+    "SlowdownSelectionEvent",
+    "ThrottlePolicyPlugin",
     "WindowStats",
+    "build_policy",
     "conventional_policy",
+    "estimate_pair_slowdowns",
+    "linear_latency_factor",
     "offline_exhaustive_search",
+    "parse_policy_arg",
+    "policy_catalogue",
+    "policy_entry",
+    "policy_names",
     "predict_speedup_curve",
+    "register_policy",
+    "registered_policies",
+    "s_mtl_regions",
 ]

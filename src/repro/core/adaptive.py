@@ -17,6 +17,7 @@ keeps total monitoring below ``budget_fraction`` of the pairs seen.
 
 from __future__ import annotations
 
+from repro.core.plugin import PolicyParam, register_policy
 from repro.core.throttle import DynamicThrottlingPolicy
 from repro.errors import ConfigurationError
 from repro.sim.events import TaskRecord
@@ -54,15 +55,16 @@ class AdaptiveWindowThrottlingPolicy(DynamicThrottlingPolicy):
             raise ConfigurationError(
                 f"budget_fraction must be in (0, 1], got {budget_fraction}"
             )
-        super().__init__(context_count=context_count, window_pairs=min_window)
+        super().__init__(
+            context_count=context_count,
+            window_pairs=min_window,
+            name="adaptive-window-throttling",
+        )
         self._min_window = min_window
         self._max_window = max_window
         self._budget_fraction = budget_fraction
         self._pairs_seen = 0
-
-    @property
-    def name(self) -> str:
-        return "adaptive-window-throttling"
+        self.stats.register("window_growths")
 
     def on_task_complete(self, record: TaskRecord, now: float) -> None:
         if record.is_memory:
@@ -85,3 +87,28 @@ class AdaptiveWindowThrottlingPolicy(DynamicThrottlingPolicy):
         if target > self._window_pairs:
             self._window_pairs = target
             self._detector.grow_window(target)
+            self.stats.add("window_growths")
+
+
+def _build_adaptive(
+    context_count: int, **params: object
+) -> AdaptiveWindowThrottlingPolicy:
+    return AdaptiveWindowThrottlingPolicy(context_count, **params)  # type: ignore[arg-type]
+
+
+register_policy(
+    "adaptive-window",
+    _build_adaptive,
+    summary=(
+        "D-MTL with a self-sizing monitoring window grown from a "
+        "per-run monitoring budget"
+    ),
+    source="this repo (Figure 15 extension)",
+    params=(
+        PolicyParam("min_window", "int", "4", "bootstrap window (pairs)"),
+        PolicyParam("max_window", "int", "24", "window ceiling (pairs)"),
+        PolicyParam(
+            "budget_fraction", "float", "0.15", "monitoring-pairs budget"
+        ),
+    ),
+)

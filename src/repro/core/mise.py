@@ -1,0 +1,251 @@
+"""Slowdown-fairness throttling (the MISE mechanism on task pairs).
+
+MISE's insight is that a thread's slowdown can be estimated online by
+occasionally measuring its *alone* performance — giving it the memory
+system essentially to itself — and comparing against what it gets
+under sharing.  :class:`MiseFairnessPolicy` transplants that loop onto
+this codebase's pair vocabulary:
+
+1. **Monitor** ``W`` pairs at the current MTL through the same
+   IdleBound :class:`~repro.core.phase.PhaseChangeDetector` the paper's
+   mechanism uses, so re-estimation triggers only when the phase
+   actually moved.
+2. **Probe the alone rate**: run one window at MTL = 1 (the analogue
+   of MISE's highest-priority epochs — memory tasks execute without
+   memory-side interference).  Probe tasks are flagged for overhead
+   accounting exactly like the D-MTL selector's.
+3. **Estimate and commit**: fit a
+   :class:`~repro.core.slowdown.SlowdownProfile` through the two
+   measured points and pick the MTL whose estimated per-pair slowdown
+   is smallest (ties prefer the higher MTL — less throttling for the
+   same fairness).  Because the operating point is homogeneous, the
+   smallest common estimate is exactly the min-max-slowdown choice —
+   the fairness objective.
+
+The QoS variant (:mod:`repro.core.qos`) shares this whole loop and
+only replaces the final selection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.model import AnalyticalModel
+from repro.core.phase import PairSample, PhaseChangeDetector, WindowStats
+from repro.core.plugin import PolicyParam, ThrottlePolicyPlugin, register_policy
+from repro.core.slowdown import SlowdownProfile
+from repro.core.throttle import PairAssembler
+from repro.errors import ConfigurationError
+from repro.sim.events import TaskRecord
+
+__all__ = [
+    "MiseFairnessPolicy",
+    "SlowdownDrivenPolicy",
+    "SlowdownSelectionEvent",
+]
+
+
+@dataclass(frozen=True)
+class SlowdownSelectionEvent:
+    """One committed slowdown-based selection, for reporting."""
+
+    time: float
+    trigger_idle_bound: int
+    probe_mtl: int
+    estimates: Dict[int, float]
+    selected_mtl: int
+
+
+class SlowdownDrivenPolicy(ThrottlePolicyPlugin):
+    """Shared monitor/probe/estimate loop of the MISE-style policies.
+
+    Args:
+        context_count: Schedulable contexts ``n``.
+        window_pairs: ``W`` — pairs per monitoring (and probe) window.
+        initial_mtl: Starting constraint (defaults to ``n``).
+        name: Plugin name (set by the concrete subclass).
+    """
+
+    def __init__(
+        self,
+        context_count: int,
+        window_pairs: int = 16,
+        initial_mtl: Optional[int] = None,
+        *,
+        name: str = "slowdown-driven",
+    ) -> None:
+        super().__init__(name)
+        if context_count < 1:
+            raise ConfigurationError(
+                f"context_count must be >= 1, got {context_count}"
+            )
+        self._n = context_count
+        self._model = AnalyticalModel(core_count=context_count)
+        self._detector = PhaseChangeDetector(self._model, window_pairs=window_pairs)
+        self._assembler = PairAssembler()
+        self._window_pairs = window_pairs
+        self._mtl = initial_mtl if initial_mtl is not None else context_count
+        if not 1 <= self._mtl <= context_count:
+            raise ConfigurationError(
+                f"initial_mtl {self._mtl} outside [1, {context_count}]"
+            )
+        self._probing = False
+        self._probe_mtl: Optional[int] = None
+        self._probe_window: List[PairSample] = []
+        self._trigger: Optional[WindowStats] = None
+        self._trigger_mtl = self._mtl
+        self.selections: List[SlowdownSelectionEvent] = []
+        self.stats.register("alone_probes")
+
+    @property
+    def window_pairs(self) -> int:
+        return self._window_pairs
+
+    @property
+    def windows_completed(self) -> int:
+        return self._detector.windows_completed
+
+    def current_mtl(self) -> int:
+        return self._mtl
+
+    def is_probing(self) -> bool:
+        return self._probing
+
+    def on_task_complete(self, record: TaskRecord, now: float) -> None:
+        joined = self._assembler.feed(record)
+        if joined is None:
+            return
+        sample, sample_mtl = joined
+        if sample_mtl != self._mtl:
+            return  # pair straddled an MTL switch; not a steady sample
+        if self._probing:
+            self._probe(sample, now)
+        else:
+            self._monitor(sample, now)
+
+    # -- monitoring ----------------------------------------------------
+
+    def _monitor(self, sample: PairSample, now: float) -> None:
+        window = self._detector.observe(sample)
+        if window is None:
+            return
+        self.on_window_close(now)
+        if not window.phase_changed:
+            return
+        self.on_phase_change(now)
+        if self._n == 1:
+            return  # MTL = 1 is the only choice; nothing to estimate
+        # Alone-rate probe: one window at MTL = 1 (or at n when the
+        # trigger itself was measured at 1 — any second concurrency
+        # point pins the contention slope).
+        self._trigger = window
+        self._trigger_mtl = self._mtl
+        self._probe_mtl = 1 if self._mtl != 1 else self._n
+        self._probing = True
+        self._probe_window = []
+        self._mtl = self._probe_mtl
+        self._detector.reset_window()
+        self.stats.add("alone_probes")
+
+    # -- probing -------------------------------------------------------
+
+    def _probe(self, sample: PairSample, now: float) -> None:
+        self._probe_window.append(sample)
+        if len(self._probe_window) < self._window_pairs:
+            return
+        t_m = sum(s.t_m for s in self._probe_window) / len(self._probe_window)
+        t_c = sum(s.t_c for s in self._probe_window) / len(self._probe_window)
+        self._probe_window = []
+        self.on_window_close(now)
+
+        trigger = self._trigger
+        probe_mtl = self._probe_mtl
+        assert trigger is not None and probe_mtl is not None
+        pooled_t_c = (trigger.t_c + t_c) / 2.0
+        profile = SlowdownProfile.fit(
+            context_count=self._n,
+            k_a=self._trigger_mtl,
+            t_m_a=trigger.t_m,
+            k_b=probe_mtl,
+            t_m_b=t_m,
+            t_c=pooled_t_c,
+        )
+        estimates = profile.slowdowns()
+        selected = self._select(profile, estimates)
+        self.selections.append(
+            SlowdownSelectionEvent(
+                time=now,
+                trigger_idle_bound=trigger.idle_bound,
+                probe_mtl=probe_mtl,
+                estimates=estimates,
+                selected_mtl=selected,
+            )
+        )
+        self.on_selection(now, selected)
+        self._probing = False
+        self._probe_mtl = None
+        self._trigger = None
+        self._mtl = selected
+        # Re-anchor the detector at the committed operating point so
+        # the very next window does not re-trigger (same discipline as
+        # the D-MTL selector).
+        self._detector.set_reference(
+            self._model.idle_bound(profile.t_m(selected), pooled_t_c)
+        )
+        self._detector.reset_window()
+
+    # -- the selection rule (subclass hook) ---------------------------
+
+    def _select(
+        self, profile: SlowdownProfile, estimates: Dict[int, float]
+    ) -> int:
+        raise NotImplementedError
+
+
+class MiseFairnessPolicy(SlowdownDrivenPolicy):
+    """Pick the MTL minimising the estimated per-pair slowdown.
+
+    At the homogeneous operating point every pair shares one estimate,
+    so minimising it is exactly minimising the maximum slowdown — the
+    fairness objective; ties break toward the higher MTL (less
+    throttling for equal fairness).
+    """
+
+    def __init__(
+        self,
+        context_count: int,
+        window_pairs: int = 16,
+        initial_mtl: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            context_count,
+            window_pairs=window_pairs,
+            initial_mtl=initial_mtl,
+            name="mise-fairness",
+        )
+
+    def _select(
+        self, profile: SlowdownProfile, estimates: Dict[int, float]
+    ) -> int:
+        return min(estimates, key=lambda k: (estimates[k], -k))
+
+
+def _build_mise(context_count: int, **params: object) -> MiseFairnessPolicy:
+    return MiseFairnessPolicy(context_count, **params)  # type: ignore[arg-type]
+
+
+register_policy(
+    "mise",
+    _build_mise,
+    summary=(
+        "Slowdown fairness: probe the alone rate at MTL 1, fit a "
+        "contention slope, pick the MTL with the smallest estimated "
+        "per-pair slowdown"
+    ),
+    source="MISE (arXiv:1805.05926)",
+    params=(
+        PolicyParam("window_pairs", "int", "16", "pairs per window"),
+        PolicyParam("initial_mtl", "int", "n", "starting constraint"),
+    ),
+)

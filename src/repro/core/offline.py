@@ -16,7 +16,7 @@ from typing import Callable, Dict, Optional
 from repro.sim.machine import Machine, i7_860
 from repro.sim.noise import NoiseModel
 from repro.sim.results import SimulationResult
-from repro.sim.scheduler import FixedMtlPolicy
+from repro.core.policies import FixedMtlPolicy
 from repro.sim.simulator import Simulator
 from repro.stream.program import StreamProgram
 

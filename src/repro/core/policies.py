@@ -16,6 +16,12 @@ interference-oblivious conventional schedule:
   jitter, load imbalance) rather than per-task steady-state times, it
   both pays ~n× the monitoring cost and sometimes mis-selects — the
   two deficits the paper's mechanism is designed to avoid.
+
+Every policy here is a :class:`~repro.core.plugin.ThrottlePolicyPlugin`
+and registers itself in the policy registry; this module is also the
+canonical home of :class:`FixedMtlPolicy` and
+:func:`conventional_policy` (``repro.sim.scheduler`` re-exports them
+for compatibility).
 """
 
 from __future__ import annotations
@@ -23,9 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.plugin import PolicyParam, ThrottlePolicyPlugin, register_policy
 from repro.errors import ConfigurationError
 from repro.sim.events import TaskRecord
-from repro.sim.scheduler import FixedMtlPolicy, conventional_policy
 
 __all__ = [
     "FixedMtlPolicy",
@@ -33,6 +39,26 @@ __all__ = [
     "OnlineExhaustivePolicy",
     "OnlineSelectionEvent",
 ]
+
+
+class FixedMtlPolicy(ThrottlePolicyPlugin):
+    """A static MTL constraint — the paper's *S-MTL* runs."""
+
+    def __init__(self, mtl: int, name: Optional[str] = None) -> None:
+        if mtl < 1:
+            raise ConfigurationError(f"mtl must be >= 1, got {mtl}")
+        super().__init__(name if name is not None else f"static-mtl-{mtl}")
+        self._mtl = mtl
+
+    def current_mtl(self) -> int:
+        return self._mtl
+
+
+def conventional_policy(context_count: int) -> FixedMtlPolicy:
+    """The interference-oblivious baseline: MTL equal to the thread
+    count, i.e. no throttling at all.  All speedups in the paper are
+    relative to this schedule."""
+    return FixedMtlPolicy(mtl=context_count, name="conventional")
 
 
 @dataclass(frozen=True)
@@ -44,7 +70,7 @@ class OnlineSelectionEvent:
     selected_mtl: int
 
 
-class OnlineExhaustivePolicy:
+class OnlineExhaustivePolicy(ThrottlePolicyPlugin):
     """The paper's naive online MTL searcher.
 
     Args:
@@ -62,6 +88,7 @@ class OnlineExhaustivePolicy:
         threshold: float = 0.10,
         initial_mtl: Optional[int] = None,
     ) -> None:
+        super().__init__("online-exhaustive")
         if context_count < 1:
             raise ConfigurationError(
                 f"context_count must be >= 1, got {context_count}"
@@ -93,10 +120,6 @@ class OnlineExhaustivePolicy:
         self.selections: List[OnlineSelectionEvent] = []
 
     @property
-    def name(self) -> str:
-        return "online-exhaustive"
-
-    @property
     def window_pairs(self) -> int:
         return self._window_pairs
 
@@ -119,6 +142,7 @@ class OnlineExhaustivePolicy:
         window_time = now - self._window_start
         self._window_start = None
         self._pairs_in_window = 0
+        self.on_window_close(now)
 
         if self._probing:
             self._probe_times[self._mtl] = window_time
@@ -143,6 +167,7 @@ class OnlineExhaustivePolicy:
             change = abs(window_time - previous) / previous
             if change <= self._threshold:
                 return
+        self.on_phase_change(now)
         # Exhaustive probe: a full window at every MTL from 1 to n.
         self._probing = True
         self._probe_times = {}
@@ -160,6 +185,53 @@ class OnlineExhaustivePolicy:
                 selected_mtl=selected,
             )
         )
+        self.on_selection(now, selected)
         self._mtl = selected
         self._probing = False
         self._previous_window_time = None  # restart the trigger baseline
+
+
+def _build_conventional(context_count: int, **params: object) -> FixedMtlPolicy:
+    return conventional_policy(context_count)
+
+
+def _build_static(context_count: int, **params: object) -> FixedMtlPolicy:
+    return FixedMtlPolicy(**params)  # type: ignore[arg-type]
+
+
+def _build_online(context_count: int, **params: object) -> OnlineExhaustivePolicy:
+    return OnlineExhaustivePolicy(context_count, **params)  # type: ignore[arg-type]
+
+
+register_policy(
+    "conventional",
+    _build_conventional,
+    summary="No throttling: MTL pinned at n (the paper's baseline schedule)",
+    source="MICRO 2010 §V (baseline)",
+    params=(),
+)
+
+register_policy(
+    "static",
+    _build_static,
+    summary="A fixed MTL for the whole run (the paper's S-MTL points)",
+    source="MICRO 2010 §V (S-MTL)",
+    params=(
+        PolicyParam("mtl", "int", None, "the fixed MTL (required)"),
+    ),
+)
+
+register_policy(
+    "online",
+    _build_online,
+    summary=(
+        "Online exhaustive search: wall-clock windows trigger a probe "
+        "of every MTL; the fastest window wins"
+    ),
+    source="MICRO 2010 §V (online exhaustive baseline)",
+    params=(
+        PolicyParam("window_pairs", "int", "16", "pairs per measured window"),
+        PolicyParam("threshold", "float", "0.10", "relative re-trigger threshold"),
+        PolicyParam("initial_mtl", "int", "n", "starting constraint"),
+    ),
+)

@@ -1,0 +1,233 @@
+"""Per-pair slowdown estimation (the MISE mechanism, ported to tasks).
+
+MISE estimates each thread's *slowdown* — alone-performance divided by
+shared-performance — by occasionally giving the thread highest memory
+priority and taking its request rate then as a proxy for its alone
+rate.  In this codebase's task vocabulary the analogue is direct: a
+pair's alone memory-task time ``t_m_alone`` is what an MTL = 1 window
+measures, and the shared time under an MTL of ``k`` follows from the
+contention-scaling of the analytical model.
+
+:func:`estimate_pair_slowdowns` is the estimator itself, phrased over
+heterogeneous pairs so the fairness/QoS policies and the property
+tests share one implementation.  For pair ``i`` with alone times
+``(t_i, c_i)`` running among ``m`` unthrottled pairs at MTL ``k``:
+
+* ``j = min(k, m)`` memory tasks actually overlap, inflating each
+  memory task by the latency factor ``g(j)``;
+* the memory system drains pair ``i``'s requests in ``t_i * g(j)``
+  of service spread over ``j`` slots shared by ``m`` pairs, so its
+  memory phase completes in ``t_i * g(j) * m / j``;
+* the pair itself cannot finish faster than its own inflated pair
+  time ``t_i * g(j) + c_i``.
+
+Estimated completion is the max of the two, and slowdown divides by
+the alone time ``t_i + c_i``.  With homogeneous pairs this reduces
+*exactly* to ``AnalyticalModel.execution_time`` normalised by the
+alone time (a property test pins the equality), and it has the three
+properties the MISE-style policies rely on: symmetric pairs get equal
+estimates, estimates are always >= 1, and throttling a pair never
+increases another pair's estimate (``m/j`` and ``g(j)`` are both
+non-increasing when ``m`` shrinks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence
+
+from repro.errors import ModelError
+
+__all__ = [
+    "PairLoad",
+    "SlowdownProfile",
+    "estimate_pair_slowdowns",
+    "linear_latency_factor",
+]
+
+#: Floor (relative to the anchor measurement) that keeps an
+#: extrapolated alone time positive when the fit anchors above k = 1.
+_ALONE_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class PairLoad:
+    """Alone-execution times of one memory/compute pair."""
+
+    t_m_alone: float
+    t_c: float
+
+    def __post_init__(self) -> None:
+        if self.t_m_alone <= 0:
+            raise ModelError(
+                f"t_m_alone must be positive, got {self.t_m_alone}"
+            )
+        if self.t_c < 0:
+            raise ModelError(f"t_c must be non-negative, got {self.t_c}")
+
+
+def linear_latency_factor(slope: float) -> Callable[[int], float]:
+    """``g(j) = 1 + slope * (j - 1)`` — linear contention scaling.
+
+    ``slope`` is the relative latency increment per extra overlapping
+    memory task; ``g(1) = 1`` by construction.
+    """
+    if slope < 0:
+        raise ModelError(f"slope must be non-negative, got {slope}")
+
+    def factor(j: int) -> float:
+        return 1.0 + slope * (j - 1)
+
+    return factor
+
+
+def estimate_pair_slowdowns(
+    pairs: Sequence[PairLoad],
+    mtl: int,
+    latency_factor: Callable[[int], float],
+    throttled: Iterable[int] = (),
+) -> List[float]:
+    """Estimated slowdown of every pair at ``mtl``.
+
+    Args:
+        pairs: Alone loads, one per pair.
+        mtl: Memory thread limit in force, >= 1.
+        latency_factor: ``g(j)`` — memory-task inflation when ``j``
+            memory tasks overlap; must be >= 1 with ``g(1) = 1``.
+        throttled: Indices of pairs currently blocked from the memory
+            system; their slots report ``inf`` (no progress while
+            throttled) and they contribute no contention.
+
+    Returns:
+        One estimate per pair, aligned with ``pairs``.
+    """
+    if not pairs:
+        return []
+    if mtl < 1:
+        raise ModelError(f"mtl must be >= 1, got {mtl}")
+    blocked: FrozenSet[int] = frozenset(throttled)
+    for index in blocked:
+        if not 0 <= index < len(pairs):
+            raise ModelError(
+                f"throttled index {index} outside [0, {len(pairs) - 1}]"
+            )
+    active = len(pairs) - len(blocked)
+    if active == 0:
+        return [math.inf] * len(pairs)
+
+    j = min(mtl, active)
+    g = float(latency_factor(j))
+    if g < 1.0:
+        raise ModelError(f"latency factor g({j}) = {g} is < 1")
+    queue_depth = active / j
+
+    estimates: List[float] = []
+    for index, pair in enumerate(pairs):
+        if index in blocked:
+            estimates.append(math.inf)
+            continue
+        shared_t_m = pair.t_m_alone * g
+        completion = max(shared_t_m * queue_depth, shared_t_m + pair.t_c)
+        estimates.append(completion / (pair.t_m_alone + pair.t_c))
+    return estimates
+
+
+@dataclass(frozen=True)
+class SlowdownProfile:
+    """Two-point contention fit powering online slowdown estimates.
+
+    The MISE-style policies measure mean pair times at two MTLs — the
+    one that triggered re-selection and an alone-rate probe at
+    MTL = 1 — and interpolate the memory-task time linearly in the
+    thread count between them (slope clamped at zero: contention
+    cannot speed memory tasks up).
+
+    Attributes:
+        context_count: ``n`` — schedulable contexts.
+        t_m_alone: Fitted memory-task time at concurrency 1.
+        slope: Absolute memory-time increment per extra thread.
+        t_c: Mean compute-task time (concurrency-independent, as in
+            the paper's model).
+    """
+
+    context_count: int
+    t_m_alone: float
+    slope: float
+    t_c: float
+
+    def __post_init__(self) -> None:
+        if self.context_count < 1:
+            raise ModelError(
+                f"context_count must be >= 1, got {self.context_count}"
+            )
+        if self.t_m_alone <= 0:
+            raise ModelError(
+                f"t_m_alone must be positive, got {self.t_m_alone}"
+            )
+        if self.slope < 0:
+            raise ModelError(f"slope must be non-negative, got {self.slope}")
+        if self.t_c < 0:
+            raise ModelError(f"t_c must be non-negative, got {self.t_c}")
+
+    @classmethod
+    def fit(
+        cls,
+        context_count: int,
+        k_a: int,
+        t_m_a: float,
+        k_b: int,
+        t_m_b: float,
+        t_c: float,
+    ) -> "SlowdownProfile":
+        """Fit from two measured points ``(k_a, t_m_a)``, ``(k_b, t_m_b)``."""
+        if context_count < 1:
+            raise ModelError(
+                f"context_count must be >= 1, got {context_count}"
+            )
+        for k in (k_a, k_b):
+            if not 1 <= k <= context_count:
+                raise ModelError(f"MTL {k} outside [1, {context_count}]")
+        if k_a == k_b:
+            raise ModelError(
+                f"fit needs two distinct MTLs, got {k_a} twice"
+            )
+        for t_m in (t_m_a, t_m_b):
+            if t_m <= 0:
+                raise ModelError(
+                    f"memory-task time must be positive, got {t_m}"
+                )
+        if k_a < k_b:
+            k_lo, t_lo, k_hi, t_hi = k_a, t_m_a, k_b, t_m_b
+        else:
+            k_lo, t_lo, k_hi, t_hi = k_b, t_m_b, k_a, t_m_a
+        slope = max(0.0, (t_hi - t_lo) / (k_hi - k_lo))
+        alone = t_lo - slope * (k_lo - 1)
+        if alone <= 0:
+            alone = t_lo * _ALONE_FLOOR
+        return cls(
+            context_count=context_count,
+            t_m_alone=alone,
+            slope=slope,
+            t_c=t_c,
+        )
+
+    def t_m(self, k: int) -> float:
+        """Fitted memory-task time at concurrency ``k``."""
+        if not 1 <= k <= self.context_count:
+            raise ModelError(f"MTL {k} outside [1, {self.context_count}]")
+        return self.t_m_alone + self.slope * (k - 1)
+
+    def latency_factor(self, j: int) -> float:
+        """``g(j) = t_m(j) / t_m(1)`` — always >= 1, non-decreasing."""
+        return self.t_m(j) / self.t_m_alone
+
+    def slowdown(self, k: int) -> float:
+        """Estimated per-pair slowdown at MTL ``k`` with all ``n``
+        contexts loaded homogeneously (the policy's operating point)."""
+        loads = [PairLoad(self.t_m_alone, self.t_c)] * self.context_count
+        return estimate_pair_slowdowns(loads, k, self.latency_factor)[0]
+
+    def slowdowns(self) -> Dict[int, float]:
+        """Estimated slowdown at every MTL from 1 to ``n``."""
+        return {k: self.slowdown(k) for k in range(1, self.context_count + 1)}

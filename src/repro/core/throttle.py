@@ -22,11 +22,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.model import AnalyticalModel
 from repro.core.phase import PairSample, PhaseChangeDetector
+from repro.core.plugin import PolicyParam, ThrottlePolicyPlugin, register_policy
 from repro.core.selection import MtlDecision, MtlSelector
 from repro.errors import ConfigurationError
 from repro.sim.events import TaskRecord
 
-__all__ = ["DynamicThrottlingPolicy", "SelectionEvent"]
+__all__ = ["DynamicThrottlingPolicy", "PairAssembler", "SelectionEvent"]
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class SelectionEvent:
 
 
 @dataclass
-class _PairAssembler:
+class PairAssembler:
     """Joins memory and compute records into pair samples.
 
     A sample is valid only when its memory task ran under the MTL the
@@ -64,7 +65,7 @@ class _PairAssembler:
         return PairSample(t_m=t_m, t_c=record.duration), mtl
 
 
-class DynamicThrottlingPolicy:
+class DynamicThrottlingPolicy(ThrottlePolicyPlugin):
     """The paper's dynamic memory thread throttling mechanism.
 
     Args:
@@ -75,6 +76,7 @@ class DynamicThrottlingPolicy:
             larger workloads, 8 for dft; Figure 15).
         initial_mtl: Starting constraint; defaults to ``n``
             (unthrottled), so the first window measures ``T_mn``.
+        name: Plugin name (overridden by subclasses).
     """
 
     def __init__(
@@ -82,14 +84,17 @@ class DynamicThrottlingPolicy:
         context_count: int,
         window_pairs: int = 16,
         initial_mtl: Optional[int] = None,
+        *,
+        name: str = "dynamic-throttling",
     ) -> None:
+        super().__init__(name)
         if context_count < 1:
             raise ConfigurationError(
                 f"context_count must be >= 1, got {context_count}"
             )
         self._model = AnalyticalModel(core_count=context_count)
         self._detector = PhaseChangeDetector(self._model, window_pairs=window_pairs)
-        self._assembler = _PairAssembler()
+        self._assembler = PairAssembler()
         self._mtl = initial_mtl if initial_mtl is not None else context_count
         if not 1 <= self._mtl <= context_count:
             raise ConfigurationError(
@@ -100,10 +105,6 @@ class DynamicThrottlingPolicy:
         self._window_pairs = window_pairs
         self.selections: List[SelectionEvent] = []
         self._pending_trigger_bound: Optional[int] = None
-
-    @property
-    def name(self) -> str:
-        return "dynamic-throttling"
 
     @property
     def window_pairs(self) -> int:
@@ -136,8 +137,12 @@ class DynamicThrottlingPolicy:
 
     def _monitor(self, sample: PairSample, now: float) -> None:
         window = self._detector.observe(sample)
-        if window is None or not window.phase_changed:
+        if window is None:
             return
+        self.on_window_close(now)
+        if not window.phase_changed:
+            return
+        self.on_phase_change(now)
         # Phase change: start a selection, seeded with the window just
         # measured at the current MTL (no wasted re-measurement).
         selector = MtlSelector(self._model)
@@ -154,6 +159,7 @@ class DynamicThrottlingPolicy:
         t_m = sum(s.t_m for s in self._probe_window) / len(self._probe_window)
         t_c = sum(s.t_c for s in self._probe_window) / len(self._probe_window)
         self._probe_window.clear()
+        self.on_window_close(now)
         assert self._selector is not None
         self._selector.provide(self._mtl, t_m, t_c)
         self._finish_or_continue_selection(self._selector, now)
@@ -175,6 +181,7 @@ class DynamicThrottlingPolicy:
                 decision=decision,
             )
         )
+        self.on_selection(now, decision.selected_mtl)
         self._selector = None
         self._mtl = decision.selected_mtl
         # The reference IdleBound the monitor compares against must be
@@ -183,3 +190,22 @@ class DynamicThrottlingPolicy:
         t_m, t_c = decision.measurements[decision.selected_mtl]
         self._detector.set_reference(self._model.idle_bound(t_m, t_c))
         self._detector.reset_window()
+
+
+def _build_dynamic(context_count: int, **params: object) -> DynamicThrottlingPolicy:
+    return DynamicThrottlingPolicy(context_count, **params)  # type: ignore[arg-type]
+
+
+register_policy(
+    "dynamic",
+    _build_dynamic,
+    summary=(
+        "The paper's D-MTL: IdleBound phase detection plus "
+        "model-guided binary search over candidate MTLs"
+    ),
+    source="MICRO 2010 §IV (D-MTL)",
+    params=(
+        PolicyParam("window_pairs", "int", "16", "pairs per estimation window"),
+        PolicyParam("initial_mtl", "int", "n", "starting constraint"),
+    ),
+)

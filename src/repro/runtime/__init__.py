@@ -25,6 +25,7 @@ from repro.runtime.characterize import (
 from repro.runtime.experiment import (
     ComparisonResult,
     PolicyOutcome,
+    all_policy_specs,
     compare_policies,
     compare_policies_grid,
     offline_best_static_factory,
@@ -65,6 +66,7 @@ __all__ = [
     "SweepPoint",
     "TelemetryWriter",
     "WorkloadCharacter",
+    "all_policy_specs",
     "backoff_schedule",
     "characterize",
     "compare_policies",

@@ -38,7 +38,7 @@ __all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "ResultCache", "stable_hash"]
 
 #: Bump to invalidate every existing cache entry when the simulator's
 #: observable behaviour changes (the version participates in the key).
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:

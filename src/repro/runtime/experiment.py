@@ -16,6 +16,7 @@ from typing import Any, List, Mapping
 
 from repro.core.offline import offline_exhaustive_search
 from repro.core.policies import OnlineExhaustivePolicy
+from repro.core.registry import policy_entry, policy_names
 from repro.core.throttle import DynamicThrottlingPolicy
 from repro.errors import MeasurementError
 from repro.runtime.faults import PointFailure
@@ -30,6 +31,7 @@ from repro.stream.program import StreamProgram
 __all__ = [
     "PolicyOutcome",
     "ComparisonResult",
+    "all_policy_specs",
     "compare_policies",
     "compare_policies_grid",
     "paper_policy_suite",
@@ -279,6 +281,36 @@ def paper_policy_specs(window_pairs: int = 16) -> Dict[str, Mapping[str, Any]]:
         "Online Exhaustive Search": {"kind": "online", "window_pairs": window_pairs},
         "Offline Exhaustive Search": {"kind": "offline"},
     }
+
+
+#: Grid-time values for registry parameters that have no constructor
+#: default (a full-registry comparison must be buildable unattended).
+_REQUIRED_PARAM_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "static": {"mtl": 2},
+}
+
+
+def all_policy_specs(window_pairs: int = 16) -> Dict[str, Mapping[str, Any]]:
+    """One declarative spec per registered policy, keyed by name.
+
+    The cross-policy comparison grid: every entry of
+    :func:`repro.core.registry.policy_names` becomes a runnable spec.
+    Policies exposing a ``window_pairs`` parameter get the shared
+    value (so the comparison monitors with one W everywhere);
+    parameters without a constructor default are filled from
+    :data:`_REQUIRED_PARAM_DEFAULTS`.
+    """
+    specs: Dict[str, Mapping[str, Any]] = {}
+    for name in policy_names():
+        entry = policy_entry(name)
+        spec: Dict[str, Any] = {"kind": name}
+        if entry.param("window_pairs") is not None:
+            spec["window_pairs"] = window_pairs
+        for param in entry.params:
+            if param.default is None and param.name not in spec:
+                spec[param.name] = _REQUIRED_PARAM_DEFAULTS[name][param.name]
+        specs[name] = spec
+    return specs
 
 
 def paper_policy_suite(

@@ -53,11 +53,15 @@ workload    ``{"kind": "registry", "name": "dft"}``
             workload spec, :mod:`repro.workloads.spec`)
 machine     ``{"preset": "i7_860", "channels": 1, "smt": 1}``
             ``{"preset": "power7", "smt": 4, "channels": 8}``
-policy      ``{"kind": "conventional"}``
-            ``{"kind": "static", "mtl": k}``
-            ``{"kind": "dynamic", "window_pairs": W}``
-            ``{"kind": "online", "window_pairs": W}``
-            ``{"kind": "offline"}`` (exhaustive static search)
+policy      ``{"kind": "<registered name>", **params}`` — any name
+            in :func:`repro.core.registry.policy_names`:
+            ``conventional``, ``static`` (needs ``mtl``),
+            ``dynamic`` / ``online`` / ``mise`` / ``qos``
+            (``window_pairs``...), ``adaptive-window``,
+            ``activation-budget``; parameters are validated against
+            the registry entry (offending key named).
+            ``{"kind": "offline"}`` (exhaustive static search) is
+            the one non-registry kind, handled by :func:`run_point`.
 ==========  =====================================================
 """
 
@@ -82,8 +86,7 @@ from typing import (
 )
 
 from repro.core.offline import offline_exhaustive_search
-from repro.core.policies import OnlineExhaustivePolicy
-from repro.core.throttle import DynamicThrottlingPolicy
+from repro.core.registry import build_policy
 from repro.errors import ConfigurationError, MeasurementError
 from repro.memory.cache import LastLevelCache
 from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache, stable_hash
@@ -102,13 +105,14 @@ from repro.runtime.telemetry import (
     fault_event,
     point_event,
     point_failure_event,
+    policy_stat_event,
     retry_event,
     sweep_event,
 )
 from repro.sim.machine import Machine, i7_860
 from repro.sim.noise import noise_for_seed
 from repro.sim.power7 import power7
-from repro.sim.scheduler import FixedMtlPolicy, SchedulingPolicy, conventional_policy
+from repro.sim.scheduler import SchedulingPolicy
 from repro.sim.simulator import Simulator
 from repro.stream.program import StreamProgram
 from repro.workloads import SyntheticWorkload, build_workload
@@ -251,24 +255,8 @@ def build_policy_from_spec(
     :func:`run_point`.
     """
     kind = _require(spec, "kind", "policy")
-    n = machine.context_count
-    if kind == "conventional":
-        return conventional_policy(n)
-    if kind == "static":
-        return FixedMtlPolicy(_as_int(_require(spec, "mtl", "policy"), "mtl", "policy"))
-    if kind in ("dynamic", "online"):
-        kwargs: Dict[str, Any] = {"context_count": n}
-        if "window_pairs" in spec:
-            kwargs["window_pairs"] = _as_int(
-                spec["window_pairs"], "window_pairs", "policy"
-            )
-        if kind == "dynamic":
-            return DynamicThrottlingPolicy(**kwargs)
-        return OnlineExhaustivePolicy(**kwargs)
-    raise ConfigurationError(
-        f"unknown policy kind {kind!r}; use conventional | static | "
-        "dynamic | online | offline"
-    )
+    params = {key: value for key, value in spec.items() if key != "kind"}
+    return build_policy(kind, machine.context_count, params)
 
 
 def _frozen(value: Any) -> Any:
@@ -347,6 +335,10 @@ class PointResult:
         per_mtl_makespan: For ``offline`` points, every static MTL's
             makespan (the Figure 13 speedup curves need the MTL = n
             baseline); ``None`` otherwise.
+        policy_stats: The policy plugin's registered-counter snapshot
+            (:meth:`~repro.core.plugin.ThrottlePolicyPlugin.stats_snapshot`);
+            ``None`` for ``offline`` points, which run a meta-procedure
+            rather than one policy instance.
     """
 
     label: str
@@ -360,6 +352,7 @@ class PointResult:
     task_count: int
     sim_events: int
     per_mtl_makespan: Optional[Dict[int, float]] = None
+    policy_stats: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -378,11 +371,16 @@ class PointResult:
             payload["per_mtl_makespan"] = [
                 [mtl, span] for mtl, span in sorted(self.per_mtl_makespan.items())
             ]
+        if self.policy_stats is not None:
+            payload["policy_stats"] = [
+                [stat, value] for stat, value in sorted(self.policy_stats.items())
+            ]
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "PointResult":
         per_mtl = payload.get("per_mtl_makespan")
+        stats = payload.get("policy_stats")
         return cls(
             label=str(payload.get("label", "")),
             workload=str(payload["workload"]),
@@ -397,6 +395,11 @@ class PointResult:
             per_mtl_makespan=(
                 {int(mtl): float(span) for mtl, span in per_mtl}
                 if per_mtl is not None
+                else None
+            ),
+            policy_stats=(
+                {str(stat): float(value) for stat, value in stats}
+                if stats is not None
                 else None
             ),
         )
@@ -448,6 +451,7 @@ def run_point(point: SweepPoint) -> PointResult:
         selected: Optional[int] = result.dominant_mtl()
     except MeasurementError:
         selected = None
+    snapshot = getattr(policy, "stats_snapshot", None)
     return PointResult(
         label=point.label,
         workload=program.name,
@@ -459,6 +463,7 @@ def run_point(point: SweepPoint) -> PointResult:
         probe_fraction=result.probe_task_time_fraction(),
         task_count=result.task_count,
         sim_events=result.task_count + len(result.mtl_changes),
+        policy_stats=dict(snapshot()) if callable(snapshot) else None,
     )
 
 
@@ -999,6 +1004,17 @@ class SweepExecutor:
                     label=point.label,
                 )
             )
+            if result.policy_stats:
+                for stat, value in sorted(result.policy_stats.items()):
+                    self.telemetry.emit(
+                        policy_stat_event(
+                            key=keys[index],
+                            label=point.label,
+                            policy=result.policy,
+                            stat=stat,
+                            value=value,
+                        )
+                    )
         hit_count = sum(hits)
         self.telemetry.emit(
             sweep_event(

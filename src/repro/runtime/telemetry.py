@@ -3,7 +3,7 @@
 Every sweep point executed (or served from cache) by the
 :class:`~repro.runtime.parallel.SweepExecutor` emits one JSON object on
 its own line — the JSON-lines format that log shippers and ``jq`` both
-consume directly.  Eight event kinds exist:
+consume directly.  Ten event kinds exist:
 
 ``point``
     One record per successful sweep point: the content-address of the
@@ -30,6 +30,16 @@ consume directly.  Eight event kinds exist:
     One record per corrupt cache entry quarantined by
     :class:`~repro.runtime.cache.ResultCache` (renamed to
     ``*.corrupt``, never silently overwritten).
+
+``policy_stat``
+    One record per registered policy-plugin counter per successful
+    sweep point (emitted by the executor in the parent, after the
+    point's ``point`` record): which policy, which stat, its value.
+
+``policy_selection``
+    One record per MTL selection a policy plugin reports through its
+    selection log (:meth:`~repro.core.plugin.ThrottlePolicyPlugin.selection_log`):
+    the simulated time and the committed MTL.
 
 ``sweep``
     One trailing summary per executor run: point totals, cache
@@ -69,6 +79,8 @@ __all__ = [
     "TelemetryWriter",
     "point_event",
     "point_failure_event",
+    "policy_stat_event",
+    "policy_selection_event",
     "fault_event",
     "retry_event",
     "cache_quarantine_event",
@@ -138,6 +150,24 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "backoff_seconds": _FLOAT,
         "reason": _STR,
         "jobs": _INT,
+    },
+    "policy_stat": {
+        "schema": _INT,
+        "event": _STR,
+        "key": _STR,
+        "label": _STR,
+        "policy": _STR,
+        "stat": _STR,
+        "value": _FLOAT,
+    },
+    "policy_selection": {
+        "schema": _INT,
+        "event": _STR,
+        "key": _STR,
+        "label": _STR,
+        "policy": _STR,
+        "time": _FLOAT,
+        "selected_mtl": _INT,
     },
     "cache_quarantine": {
         "schema": _INT,
@@ -230,6 +260,44 @@ def point_failure_event(
         "attempts": attempts,
         "reason": reason,
         "jobs": jobs,
+    }
+
+
+def policy_stat_event(
+    key: str,
+    label: str,
+    policy: str,
+    stat: str,
+    value: float,
+) -> Dict[str, Any]:
+    """Build one ``policy_stat`` (plugin counter snapshot) record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "policy_stat",
+        "key": key,
+        "label": label,
+        "policy": policy,
+        "stat": stat,
+        "value": value,
+    }
+
+
+def policy_selection_event(
+    key: str,
+    label: str,
+    policy: str,
+    time: float,
+    selected_mtl: int,
+) -> Dict[str, Any]:
+    """Build one ``policy_selection`` (committed MTL decision) record."""
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "event": "policy_selection",
+        "key": key,
+        "label": label,
+        "policy": policy,
+        "time": time,
+        "selected_mtl": selected_mtl,
     }
 
 

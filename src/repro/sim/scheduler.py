@@ -7,7 +7,11 @@ compute tasks with their dependencies into a work queue; child threads
 to reinforce MTL restriction".  The lock-and-counter is the
 :class:`MtlGate`; the queue is :class:`WorkQueue`; policies — the
 paper's dynamic throttler and its baselines — plug in through
-:class:`SchedulingPolicy`.
+:class:`SchedulingPolicy`.  The static policies themselves
+(:class:`~repro.core.policies.FixedMtlPolicy`,
+:func:`~repro.core.policies.conventional_policy`) now live with the
+rest of the policy plugins in :mod:`repro.core.policies` and are
+re-exported here for compatibility.
 
 Dispatch preference follows Section III: a context that cannot acquire
 an MTL token "does not have to stall if it has compute work to do", so
@@ -21,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
+from repro.core.policies import FixedMtlPolicy, conventional_policy
 from repro.errors import ConfigurationError, SchedulingError
 from repro.sim.events import TaskRecord
 from repro.stream.graph import TaskGraph
@@ -59,36 +64,6 @@ class SchedulingPolicy(Protocol):
         """Whether dispatched tasks currently belong to a monitoring
         window (recorded on :class:`TaskRecord.probe` for overhead
         accounting)."""
-
-
-class FixedMtlPolicy:
-    """A static MTL constraint — the paper's *S-MTL* runs."""
-
-    def __init__(self, mtl: int, name: Optional[str] = None) -> None:
-        if mtl < 1:
-            raise ConfigurationError(f"mtl must be >= 1, got {mtl}")
-        self._mtl = mtl
-        self._name = name if name is not None else f"static-mtl-{mtl}"
-
-    @property
-    def name(self) -> str:
-        return self._name
-
-    def current_mtl(self) -> int:
-        return self._mtl
-
-    def on_task_complete(self, record: TaskRecord, now: float) -> None:
-        return None
-
-    def is_probing(self) -> bool:
-        return False
-
-
-def conventional_policy(context_count: int) -> FixedMtlPolicy:
-    """The interference-oblivious baseline: MTL equal to the thread
-    count, i.e. no throttling at all.  All speedups in the paper are
-    relative to this schedule."""
-    return FixedMtlPolicy(mtl=context_count, name="conventional")
 
 
 class MtlGate:

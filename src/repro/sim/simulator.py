@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.core.plugin import ThrottlePolicyPlugin
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.engine import RateCalculator, RunningTask
 from repro.sim.events import MtlChange, TaskRecord
@@ -39,6 +40,23 @@ __all__ = ["Simulator", "simulate"]
 
 #: Relative work threshold below which a task counts as finished.
 _COMPLETION_EPSILON = 1e-9
+
+
+def _plugin_hook(policy: SchedulingPolicy, name: str):
+    """Resolve an optional plugin hook, skipping default no-op bodies.
+
+    Returns the bound method only when the policy actually overrides
+    the :class:`~repro.core.plugin.ThrottlePolicyPlugin` default (or
+    is a plain policy providing the method itself); the dispatch hot
+    path then pays for a hook exactly when one is implemented.
+    """
+    method = getattr(policy, name, None)
+    if method is None:
+        return None
+    base = getattr(ThrottlePolicyPlugin, name, None)
+    if base is not None and getattr(method, "__func__", None) is base:
+        return None
+    return method
 
 
 class Simulator:
@@ -94,6 +112,14 @@ class Simulator:
         """Execute a pre-built task graph (multiprogram mixes use this
         to bypass the single-program phase-barrier construction)."""
         queue = WorkQueue(graph)
+        # Plugin moments (the init/setup/update shape): bind the policy
+        # to the machine, then resolve the optional hooks once so plain
+        # policies and no-op defaults cost nothing per event.
+        setup = _plugin_hook(policy, "setup")
+        if setup is not None:
+            setup(self.machine)
+        on_dispatch = _plugin_hook(policy, "on_task_dispatch")
+        blocks = _plugin_hook(policy, "blocks_context")
         gate = MtlGate(self._validated_mtl(policy))
         contexts = self.machine.processor.contexts()
         running: Dict[int, RunningTask] = {}
@@ -114,7 +140,9 @@ class Simulator:
                 )
 
             self._sync_mtl(policy, gate, mtl_changes, now)
-            self._dispatch(queue, gate, policy, contexts, running, now)
+            self._dispatch(
+                queue, gate, policy, contexts, running, now, on_dispatch, blocks
+            )
 
             if not running:
                 if queue.has_ready_work():
@@ -169,6 +197,8 @@ class Simulator:
         contexts,
         running: Dict[int, RunningTask],
         now: float,
+        on_dispatch=None,
+        blocks=None,
     ) -> None:
         # Early exits skip no-op scans only; dispatch order is unchanged
         # (the queue only drains on a successful pick, so re-checking
@@ -180,7 +210,7 @@ class Simulator:
             context_id = context.context_id
             if context_id in running:
                 continue
-            task = self._pick_task(queue, gate, context_id)
+            task = self._pick_task(queue, gate, context_id, now, blocks)
             if task is None:
                 continue
             running[context_id] = RunningTask(
@@ -193,32 +223,42 @@ class Simulator:
                 mtl_at_dispatch=gate.limit,
                 probe=policy.is_probing(),
             )
+            if on_dispatch is not None:
+                on_dispatch(task, context_id, now)
             if not queue.has_ready_work():
                 return
 
-    def _pick_task(self, queue: WorkQueue, gate: MtlGate, context_id: int):
+    def _pick_task(
+        self, queue: WorkQueue, gate: MtlGate, context_id: int, now: float,
+        blocks=None,
+    ):
         """Choose a task for an idle context per the dispatch order."""
         if self.dispatch_preference == "memory-first":
-            task = self._try_memory(queue, gate, context_id)
+            task = self._try_memory(queue, gate, context_id, now, blocks)
             if task is not None:
                 return task
             return queue.pop_compute(context_id)
         task = queue.pop_compute(context_id)
         if task is not None:
             return task
-        return self._try_memory(queue, gate, context_id)
+        return self._try_memory(queue, gate, context_id, now, blocks)
 
     def _try_memory(
-        self, queue: WorkQueue, gate: MtlGate, context_id: int
+        self, queue: WorkQueue, gate: MtlGate, context_id: int, now: float,
+        blocks=None,
     ) -> Optional[Task]:
-        """Dispatch a memory task if one is ready and the gate grants."""
-        if queue.pending_memory > 0 and gate.try_acquire():
-            task = queue.pop_memory()
-            if task is None:  # pragma: no cover - guarded by pending_memory
-                gate.release()
+        """Dispatch a memory task if one is ready, the policy does not
+        veto this context (blacklist plugins), and the gate grants."""
+        if queue.pending_memory > 0:
+            if blocks is not None and blocks(context_id, now):
                 return None
-            queue.note_memory_ran_on(task, context_id)
-            return task
+            if gate.try_acquire():
+                task = queue.pop_memory()
+                if task is None:  # pragma: no cover - guarded by pending_memory
+                    gate.release()
+                    return None
+                queue.note_memory_ran_on(task, context_id)
+                return task
         return None
 
     def _advance(

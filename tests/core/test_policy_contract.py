@@ -1,0 +1,148 @@
+"""Cross-policy conformance: the contract every registered policy keeps.
+
+One parametrized suite over :func:`repro.core.policy_names` — add a
+policy to the registry and it is under contract here with no test
+edits.  The contract:
+
+* **determinism** — two fresh builds of the same spec produce
+  bit-identical schedules (same records, same makespan);
+* **no state leakage** — running one instance leaves nothing behind
+  that changes what the next fresh instance computes;
+* **MTL bounds** — every dispatched task sees an MTL in ``[1, n]``,
+  and so does the policy's final :meth:`current_mtl`;
+* **telemetry integrity** — every stat in ``stats_snapshot()`` and
+  every entry of ``selection_log()`` builds a record that passes
+  :func:`~repro.runtime.telemetry.validate_record` against
+  ``EVENT_SCHEMAS``, and the stat *names* are identical across runs
+  (structural stability, the property the executor relies on).
+"""
+
+import pytest
+
+from repro.core import ThrottlePolicyPlugin, build_policy, policy_names
+from repro.runtime.telemetry import (
+    policy_selection_event,
+    policy_stat_event,
+    validate_record,
+)
+from repro.sim.machine import i7_860
+from repro.sim.simulator import simulate
+from repro.stream.program import StreamProgram, build_phase
+
+N = 4
+REQUESTS = 8192
+L1 = i7_860().memory.request_latency(1.0)
+
+#: Build-time params for registry entries with required parameters.
+OVERRIDES = {"static": {"mtl": 2}}
+
+
+def fresh_policy(name):
+    return build_policy(name, N, OVERRIDES.get(name, {}))
+
+
+def contract_workload() -> StreamProgram:
+    """Two phases across the ratio boundary, long enough that every
+    windowed policy completes at least one selection."""
+    phases = [
+        build_phase(f"phase{i}", i, 120, REQUESTS, REQUESTS * L1 / ratio)
+        for i, ratio in enumerate((0.25, 1.5))
+    ]
+    return StreamProgram("contract", phases)
+
+
+def schedule_digest(result):
+    return tuple(
+        (
+            r.task_id, r.kind.name, r.context_id, r.core_id, r.start, r.end,
+            r.mtl_at_dispatch, r.phase_index, r.pair_index, r.probe,
+        )
+        for r in result.records
+    )
+
+
+def run_fresh(name):
+    policy = fresh_policy(name)
+    result = simulate(contract_workload(), policy)
+    return policy, result
+
+
+@pytest.mark.parametrize("name", policy_names())
+class TestPolicyContract:
+    def test_is_a_plugin(self, name):
+        assert isinstance(fresh_policy(name), ThrottlePolicyPlugin)
+
+    def test_deterministic_across_fresh_runs(self, name):
+        _, first = run_fresh(name)
+        _, second = run_fresh(name)
+        assert first.makespan == second.makespan
+        assert schedule_digest(first) == schedule_digest(second)
+
+    def test_no_state_leakage(self, name):
+        _, before = run_fresh(name)
+        # Exercise an instance twice — whatever it accumulates must
+        # stay inside the instance, not in class or module state.
+        used = fresh_policy(name)
+        simulate(contract_workload(), used)
+        simulate(contract_workload(), used)
+        _, after = run_fresh(name)
+        assert before.makespan == after.makespan
+        assert schedule_digest(before) == schedule_digest(after)
+
+    def test_mtl_stays_in_bounds(self, name):
+        policy, result = run_fresh(name)
+        assert 1 <= policy.current_mtl() <= N
+        for record in result.records:
+            assert 1 <= record.mtl_at_dispatch <= N, record
+
+    def test_stats_snapshot_is_stable_and_valid(self, name):
+        first_policy, _ = run_fresh(name)
+        second_policy, _ = run_fresh(name)
+        snapshot = first_policy.stats_snapshot()
+        # Base stats present, names sorted, structurally stable.
+        for stat in ("windows_closed", "phase_changes", "selections"):
+            assert stat in snapshot, stat
+        assert list(snapshot) == sorted(snapshot)
+        assert list(snapshot) == list(second_policy.stats_snapshot())
+        assert snapshot == second_policy.stats_snapshot()
+        for stat, value in snapshot.items():
+            validate_record(
+                policy_stat_event(
+                    key="contract", label="contract", policy=policy_label(name),
+                    stat=stat, value=value,
+                )
+            )
+
+    def test_selection_log_validates(self, name):
+        policy, result = run_fresh(name)
+        log = policy.selection_log()
+        for entry in log:
+            assert set(entry) == {"time", "selected_mtl"}
+            assert 0.0 <= entry["time"] <= result.makespan
+            assert 1 <= entry["selected_mtl"] <= N
+            validate_record(
+                policy_selection_event(
+                    key="contract", label="contract", policy=policy_label(name),
+                    time=entry["time"], selected_mtl=entry["selected_mtl"],
+                )
+            )
+        # The log mirrors the selections stat for selecting policies.
+        assert len(log) == policy.stats_snapshot()["selections"]
+
+
+def policy_label(name):
+    return f"contract-{name}"
+
+
+class TestRegistryShape:
+    def test_the_eight_registered_policies(self):
+        assert policy_names() == [
+            "activation-budget",
+            "adaptive-window",
+            "conventional",
+            "dynamic",
+            "mise",
+            "online",
+            "qos",
+            "static",
+        ]

@@ -1,0 +1,198 @@
+"""Property tests for the MISE-style per-pair slowdown estimator.
+
+The fairness and QoS policies trust three properties of
+:func:`repro.core.slowdown.estimate_pair_slowdowns`; each is pinned
+here over a deterministic randomized grid (fixed-seed ``Random``, so
+failures replay):
+
+* **symmetry** — pairs with identical alone loads get identical
+  estimates;
+* **lower bound** — no estimate is below 1 (sharing never speeds a
+  pair up; ``g(j) >= 1`` and ``m/j >= 1``);
+* **throttling monotonicity** — blocking one pair never *increases*
+  any other pair's estimate (that is what makes greedy
+  slowdown-driven throttling safe);
+* **homogeneous reduction** — with identical pairs the estimate times
+  the alone time equals :meth:`AnalyticalModel.execution_time`
+  exactly, so the estimator and the paper's model cannot drift apart.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.model import AnalyticalModel
+from repro.core.slowdown import (
+    PairLoad,
+    SlowdownProfile,
+    estimate_pair_slowdowns,
+    linear_latency_factor,
+)
+from repro.errors import ModelError
+
+
+def random_cases(seed=0, count=200):
+    """Deterministic (pairs, mtl, g) grid covering hetero/homogeneous,
+    compute-heavy, memory-heavy, and zero-compute corners."""
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(count):
+        m = rng.randint(1, 8)
+        pairs = [
+            PairLoad(
+                t_m_alone=rng.uniform(0.1, 10.0),
+                t_c=rng.choice([0.0, rng.uniform(0.0, 20.0)]),
+            )
+            for _ in range(m)
+        ]
+        mtl = rng.randint(1, 8)
+        g = linear_latency_factor(rng.uniform(0.0, 1.0))
+        cases.append((pairs, mtl, g))
+    return cases
+
+
+class TestSymmetry:
+    @pytest.mark.parametrize("mtl", [1, 2, 3, 4])
+    def test_identical_pairs_get_identical_estimates(self, mtl):
+        g = linear_latency_factor(0.3)
+        pairs = [PairLoad(3.0, 5.0)] * 4
+        estimates = estimate_pair_slowdowns(pairs, mtl, g)
+        assert len(set(estimates)) == 1
+
+    def test_symmetric_pairs_equal_inside_heterogeneous_mix(self):
+        g = linear_latency_factor(0.25)
+        twin = PairLoad(2.0, 1.0)
+        pairs = [twin, PairLoad(7.0, 0.0), twin, PairLoad(0.5, 9.0)]
+        estimates = estimate_pair_slowdowns(pairs, 2, g)
+        assert estimates[0] == estimates[2]
+
+    def test_randomized_twins_always_equal(self):
+        for pairs, mtl, g in random_cases(seed=1, count=50):
+            doubled = pairs + pairs
+            estimates = estimate_pair_slowdowns(doubled, mtl, g)
+            for i in range(len(pairs)):
+                assert estimates[i] == estimates[i + len(pairs)]
+
+
+class TestLowerBound:
+    def test_estimates_never_below_one(self):
+        for pairs, mtl, g in random_cases(seed=2):
+            for estimate in estimate_pair_slowdowns(pairs, mtl, g):
+                assert estimate >= 1.0
+
+    def test_alone_pair_at_mtl_one_has_no_slowdown(self):
+        g = linear_latency_factor(0.5)
+        estimates = estimate_pair_slowdowns([PairLoad(4.0, 2.0)], 1, g)
+        assert estimates == [1.0]
+
+
+class TestThrottlingMonotonicity:
+    def test_throttling_a_pair_never_hurts_the_others(self):
+        for pairs, mtl, g in random_cases(seed=3, count=100):
+            if len(pairs) < 2:
+                continue
+            before = estimate_pair_slowdowns(pairs, mtl, g)
+            for victim in range(len(pairs)):
+                after = estimate_pair_slowdowns(
+                    pairs, mtl, g, throttled=[victim]
+                )
+                for index in range(len(pairs)):
+                    if index == victim:
+                        assert math.isinf(after[index])
+                    else:
+                        assert after[index] <= before[index], (
+                            index, victim, mtl,
+                        )
+
+    def test_throttled_contribute_no_contention(self):
+        # Blocking all but one pair leaves the survivor effectively
+        # alone: at MTL 1 its estimate collapses to 1.
+        g = linear_latency_factor(0.4)
+        pairs = [PairLoad(3.0, 2.0)] * 4
+        estimates = estimate_pair_slowdowns(pairs, 1, g, throttled=[1, 2, 3])
+        assert estimates[0] == 1.0
+        assert estimates[1:] == [math.inf] * 3
+
+    def test_all_throttled_reports_inf_everywhere(self):
+        g = linear_latency_factor(0.4)
+        pairs = [PairLoad(1.0, 1.0)] * 3
+        assert estimate_pair_slowdowns(pairs, 2, g, throttled=[0, 1, 2]) == [
+            math.inf
+        ] * 3
+
+
+class TestHomogeneousReduction:
+    @pytest.mark.parametrize(
+        "m,mtl,t_m,t_c",
+        [
+            (4, 2, 3.0, 5.0),   # compute-rich, cores busy
+            (4, 1, 3.0, 1.0),   # memory-bound, cores idle
+            (6, 3, 2.0, 0.5),
+            (4, 4, 1.0, 9.0),   # unthrottled
+            (3, 2, 4.0, 0.0),   # pure memory
+        ],
+    )
+    def test_estimate_equals_analytical_makespan(self, m, mtl, t_m, t_c):
+        g = linear_latency_factor(0.3)
+        j = min(mtl, m)
+        estimates = estimate_pair_slowdowns([PairLoad(t_m, t_c)] * m, mtl, g)
+        model = AnalyticalModel(core_count=m)
+        makespan = model.execution_time(t_m * g(j), t_c, j, pairs=m)
+        assert estimates[0] * (t_m + t_c) == pytest.approx(
+            makespan, rel=1e-12
+        )
+
+    def test_randomized_reduction_holds(self):
+        rng = random.Random(4)
+        g = linear_latency_factor(0.45)
+        for _ in range(100):
+            m = rng.randint(1, 8)
+            mtl = rng.randint(1, m)
+            t_m = rng.uniform(0.1, 10.0)
+            t_c = rng.uniform(0.0, 10.0)
+            estimates = estimate_pair_slowdowns([PairLoad(t_m, t_c)] * m, mtl, g)
+            makespan = AnalyticalModel(core_count=m).execution_time(
+                t_m * g(mtl), t_c, mtl, pairs=m
+            )
+            assert estimates[0] * (t_m + t_c) == pytest.approx(
+                makespan, rel=1e-12
+            )
+
+
+class TestValidation:
+    def test_rejects_bad_mtl(self):
+        g = linear_latency_factor(0.1)
+        with pytest.raises(ModelError, match="mtl"):
+            estimate_pair_slowdowns([PairLoad(1.0, 1.0)], 0, g)
+
+    def test_rejects_out_of_range_throttle_index(self):
+        g = linear_latency_factor(0.1)
+        with pytest.raises(ModelError, match="throttled index"):
+            estimate_pair_slowdowns([PairLoad(1.0, 1.0)], 1, g, throttled=[5])
+
+    def test_rejects_sub_unit_latency_factor(self):
+        with pytest.raises(ModelError, match="latency factor"):
+            estimate_pair_slowdowns(
+                [PairLoad(1.0, 1.0)] * 2, 2, lambda j: 0.5
+            )
+
+    def test_empty_pairs_is_empty(self):
+        assert estimate_pair_slowdowns([], 2, linear_latency_factor(0.1)) == []
+
+
+class TestSlowdownProfile:
+    def test_fit_reproduces_its_anchor_points(self):
+        profile = SlowdownProfile.fit(
+            context_count=4, k_a=4, t_m_a=5.0, k_b=1, t_m_b=2.0, t_c=1.0
+        )
+        assert profile.t_m_alone == pytest.approx(2.0)
+        assert profile.t_m_alone + profile.slope * 3 == pytest.approx(5.0)
+
+    def test_slope_clamped_non_negative(self):
+        # A noisy fit that would slope downward clamps to flat:
+        # contention cannot speed memory tasks up.
+        profile = SlowdownProfile.fit(
+            context_count=4, k_a=4, t_m_a=1.0, k_b=1, t_m_b=2.0, t_c=0.0
+        )
+        assert profile.slope == 0.0

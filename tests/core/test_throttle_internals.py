@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.throttle import DynamicThrottlingPolicy, _PairAssembler
+from repro.core.throttle import DynamicThrottlingPolicy, PairAssembler
 from repro.sim.events import TaskRecord
 from repro.sim.simulator import simulate
 from repro.stream.task import TaskKind
@@ -19,7 +19,7 @@ def record(task_id, kind, start, end, mtl=4, phase=0, pair=0):
 
 class TestPairAssembler:
     def test_joins_memory_then_compute(self):
-        assembler = _PairAssembler()
+        assembler = PairAssembler()
         assert assembler.feed(
             record("M", TaskKind.MEMORY, 0.0, 1.0, mtl=2)
         ) is None
@@ -31,11 +31,11 @@ class TestPairAssembler:
         assert mtl == 2
 
     def test_compute_without_memory_is_dropped(self):
-        assembler = _PairAssembler()
+        assembler = PairAssembler()
         assert assembler.feed(record("C", TaskKind.COMPUTE, 0.0, 1.0)) is None
 
     def test_pairs_keyed_by_phase_and_index(self):
-        assembler = _PairAssembler()
+        assembler = PairAssembler()
         assembler.feed(record("M0", TaskKind.MEMORY, 0.0, 1.0, phase=0, pair=0))
         assembler.feed(record("M1", TaskKind.MEMORY, 0.0, 2.0, phase=1, pair=0))
         joined = assembler.feed(
@@ -45,7 +45,7 @@ class TestPairAssembler:
         assert sample.t_m == 2.0  # matched against phase 1's memory task
 
     def test_entry_consumed_after_join(self):
-        assembler = _PairAssembler()
+        assembler = PairAssembler()
         assembler.feed(record("M", TaskKind.MEMORY, 0.0, 1.0))
         assert assembler.feed(record("C", TaskKind.COMPUTE, 1.0, 2.0))
         assert assembler.feed(record("C2", TaskKind.COMPUTE, 2.0, 3.0)) is None

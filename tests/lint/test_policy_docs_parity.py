@@ -1,0 +1,104 @@
+"""docs/policies.md cannot drift from the policy registry.
+
+Same pattern as the telemetry and static-analysis docs-parity tests:
+parse the markdown tables and compare them field by field against
+:func:`repro.core.registry.policy_catalogue`.  Registering, renaming,
+re-summarising, or re-parameterising a policy without updating the
+catalog fails here.
+"""
+
+import pathlib
+import re
+
+from repro.core.registry import policy_catalogue
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs" / "policies.md"
+
+_REGISTRY_ROW = re.compile(
+    r"^\| `(?P<name>[\w-]+)` \| (?P<summary>[^|]+) \| (?P<source>[^|]+) \|$",
+    re.MULTILINE,
+)
+_PARAM_SECTION = re.compile(
+    r"^### `(?P<name>[\w-]+)` parameters\n(?P<body>.*?)(?=^#|\Z)",
+    re.MULTILINE | re.DOTALL,
+)
+_PARAM_ROW = re.compile(
+    r"^\| `(?P<param>\w+)` \| (?P<kind>\w+) \| (?P<default>[^|]+) "
+    r"\| (?P<doc>[^|]+) \|$",
+    re.MULTILINE,
+)
+
+
+def parse_registry_table():
+    rows = {}
+    for match in _REGISTRY_ROW.finditer(DOCS.read_text()):
+        if match.group("name") == "name":  # header row
+            continue
+        rows[match.group("name")] = {
+            "summary": match.group("summary").strip(),
+            "source": match.group("source").strip(),
+        }
+    return rows
+
+
+def parse_param_sections():
+    sections = {}
+    for section in _PARAM_SECTION.finditer(DOCS.read_text()):
+        params = [
+            {
+                "name": row.group("param"),
+                "kind": row.group("kind"),
+                "default": row.group("default").strip(),
+                "doc": row.group("doc").strip(),
+            }
+            for row in _PARAM_ROW.finditer(section.group("body"))
+            if row.group("param") != "param"  # header row
+        ]
+        sections[section.group("name")] = params
+    return sections
+
+
+class TestPolicyDocsParity:
+    def test_docs_list_exactly_the_registered_policies(self):
+        documented = parse_registry_table()
+        registered = {entry["name"] for entry in policy_catalogue()}
+        assert set(documented) == registered, (
+            "docs/policies.md registry table and policy_catalogue() "
+            "disagree on which policies exist"
+        )
+
+    def test_summary_and_source_match(self):
+        documented = parse_registry_table()
+        for entry in policy_catalogue():
+            doc = documented[entry["name"]]
+            assert doc["summary"] == entry["summary"], entry["name"]
+            assert doc["source"] == entry["source"], entry["name"]
+
+    def test_param_sections_cover_every_policy(self):
+        assert set(parse_param_sections()) == {
+            entry["name"] for entry in policy_catalogue()
+        }
+
+    def test_params_match_in_order(self):
+        sections = parse_param_sections()
+        for entry in policy_catalogue():
+            documented = sections[entry["name"]]
+            assert documented == entry["params"], (
+                f"docs/policies.md and the registry disagree on the "
+                f"parameters of {entry['name']!r}"
+            )
+
+    def test_parameterless_policies_say_none(self):
+        sections = _PARAM_SECTION.finditer(DOCS.read_text())
+        for section in sections:
+            entry = next(
+                e for e in policy_catalogue()
+                if e["name"] == section.group("name")
+            )
+            if not entry["params"]:
+                assert "(none)" in section.group("body"), entry["name"]
+
+    def test_offline_escape_hatch_documented(self):
+        # `offline` is outside the registry on purpose; the catalog
+        # must say so rather than silently omitting it.
+        assert "`offline`" in DOCS.read_text()

@@ -51,11 +51,11 @@ KEYS = [point_key(p) for p in POINTS]
 #: Verified against the plan below: first attempts include at least one
 #: crash and one transient error, and no point needs more than one
 #: retry (see the fixture guards in TestChaosConvergence).
-CRASH_ERROR_PLAN = FaultPlan(seed=0, crash_rate=0.2, error_rate=0.1)
+CRASH_ERROR_PLAN = FaultPlan(seed=1, crash_rate=0.2, error_rate=0.1)
 
 #: At least two of the six points hang on their first attempt; the
 #: deepest fault streak is two attempts.
-HANG_PLAN = FaultPlan(seed=1, hang_rate=0.5, hang_seconds=5.0)
+HANG_PLAN = FaultPlan(seed=0, hang_rate=0.5, hang_seconds=5.0)
 
 #: Hang-heavy: four of the six points hang on their first attempt and
 #: the deepest streak is four attempts, so a timed-out pool is rebuilt

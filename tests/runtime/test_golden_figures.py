@@ -13,18 +13,33 @@ The sweep-point construction mirrors
 LLC shared 4 ways, offline exhaustive search per ratio); the sampled
 rows in the artifact are the benchmark's own ``measured[::8]`` slice,
 so the expectations here are parsed from the artifact, not duplicated.
+
+``tests/runtime/snapshots/policy_parity.json`` holds full-precision
+schedules (``repr`` makespans, per-record SHA-256, MTL-change and
+selection traces) captured from the five pre-refactor policies on the
+realistic trio.  The parity tests rebuild each policy **through the
+registry** and assert bit-identity — the proof that the plugin
+refactor changed nothing the simulator can observe.
 """
 
+import hashlib
 import io
+import json
 import pathlib
 import re
 
 import pytest
 
+from repro.core.registry import build_policy
+from repro.memory.cache import LastLevelCache
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import PointResult, SweepExecutor, SweepPoint
 from repro.runtime.telemetry import TelemetryWriter, read_telemetry
+from repro.sim.machine import i7_860
+from repro.sim.simulator import Simulator
 from repro.units import mebibytes
+from repro.workloads import build_workload
+from repro.workloads.synthetic import SyntheticWorkload
 
 RESULTS_DIR = pathlib.Path(__file__).parent.parent.parent / "benchmarks" / "results"
 
@@ -132,3 +147,127 @@ def test_cached_results_round_trip_every_field(tmp_path):
     assert isinstance(cached, PointResult)
     assert cached == fresh
     assert cache.stats.hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Plugin-refactor parity: registry-built policies vs pre-refactor snapshots
+# ---------------------------------------------------------------------------
+
+SNAPSHOTS = pathlib.Path(__file__).parent / "snapshots" / "policy_parity.json"
+
+#: The registry specs equivalent to the pre-refactor constructions the
+#: snapshot was captured from (window_pairs=8 where the capture used 8).
+PARITY_SPECS = {
+    "conventional": {},
+    "static": {"mtl": 2},
+    "dynamic": {"window_pairs": 8},
+    "online": {"window_pairs": 8},
+    "adaptive-window": {},
+}
+
+PARITY_WORKLOADS = ("dft", "SC_d128", "SIFT")
+
+
+def record_digest(result):
+    """SHA-256 over every record's full repr — the snapshot's digest."""
+    h = hashlib.sha256()
+    for r in result.records:
+        h.update(
+            repr(
+                (
+                    r.task_id, r.kind.name, r.context_id, r.core_id,
+                    r.start, r.end, r.mtl_at_dispatch, r.phase_index,
+                    r.pair_index, r.probe,
+                )
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+def parity_snapshot():
+    return json.loads(SNAPSHOTS.read_text())
+
+
+@pytest.mark.parametrize("workload_name", PARITY_WORKLOADS)
+@pytest.mark.parametrize("policy_name", sorted(PARITY_SPECS))
+def test_registry_built_policy_bit_identical_to_snapshot(
+    workload_name, policy_name
+):
+    golden = parity_snapshot()[f"{workload_name}/{policy_name}"]
+    machine = i7_860()
+    policy = build_policy(
+        policy_name, machine.context_count, PARITY_SPECS[policy_name]
+    )
+    result = Simulator(machine).run(build_workload(workload_name), policy)
+
+    # Full-precision equality: repr round-trips every bit of a float.
+    assert repr(result.makespan) == golden["makespan"]
+    assert result.task_count == golden["task_count"]
+    assert result.final_mtl() == golden["final_mtl"]
+    assert repr(result.probe_task_time_fraction()) == golden["probe_fraction"]
+    assert [
+        [repr(c.time), c.old_mtl, c.new_mtl, c.reason]
+        for c in result.mtl_changes
+    ] == golden["mtl_changes"]
+    assert record_digest(result) == golden["records_sha256"]
+
+    # Selection traces, where the snapshot recorded them.
+    if policy_name == "online":
+        assert [
+            {
+                "time": repr(e.time),
+                "window_times": {
+                    str(k): repr(v) for k, v in sorted(e.window_times.items())
+                },
+                "selected_mtl": e.selected_mtl,
+            }
+            for e in policy.selections
+        ] == golden["selections"]
+    if policy_name in ("dynamic", "adaptive-window"):
+        assert [
+            {
+                "time": repr(e.time),
+                "trigger_idle_bound": e.trigger_idle_bound,
+                "selected_mtl": e.decision.selected_mtl,
+                "mtl_no_idle": e.decision.mtl_no_idle,
+                "probes_used": e.decision.probes_used,
+            }
+            for e in policy.selections
+        ] == golden["selections"]
+
+
+def test_parity_snapshot_covers_the_full_grid():
+    keys = set(parity_snapshot())
+    assert keys == {
+        f"{w}/{p}" for w in PARITY_WORKLOADS for p in PARITY_SPECS
+    }
+
+
+def test_dynamic_plugin_matches_fig13_smtl_regions():
+    """D-MTL through the registry vs the checked-in S-MTL artifact.
+
+    The paper's claim (Section VI-A): the dynamic mechanism selects
+    the offline-best static MTL except near region boundaries, where
+    it may land one step off.  The sampled fig13 1 MB rows pin that —
+    at most one boundary point may differ, and only by one MTL step.
+    """
+    golden = golden_rows(1.0)
+    machine = i7_860()
+    cache = LastLevelCache(capacity_bytes=mebibytes(8), sharers=4)
+    mismatches = []
+    for ratio, _, s_mtl in golden:
+        program = SyntheticWorkload(
+            ratio=ratio,
+            footprint_bytes=mebibytes(1),
+            pairs=PAIRS,
+            cache=cache,
+        ).build()
+        policy = build_policy(
+            "dynamic", machine.context_count, {"window_pairs": 8}
+        )
+        d_mtl = Simulator(machine).run(program, policy).dominant_mtl()
+        if d_mtl != s_mtl:
+            mismatches.append((ratio, s_mtl, d_mtl))
+    for ratio, s_mtl, d_mtl in mismatches:
+        assert abs(d_mtl - s_mtl) == 1, (ratio, s_mtl, d_mtl)
+    assert len(mismatches) <= 1, mismatches

@@ -29,6 +29,8 @@ from repro.runtime.telemetry import (
     fault_event,
     point_event,
     point_failure_event,
+    policy_selection_event,
+    policy_stat_event,
     profile_event,
     read_telemetry,
     retry_event,
@@ -50,7 +52,7 @@ POINTS = [
 
 
 def emit_everything(tmp_path):
-    """One run that produces all eight event kinds."""
+    """One run that produces every event kind."""
     sink = io.StringIO()
     # error_rate=1 with retries=1 fails the first point set; a second
     # healthy cached run adds point + cache_quarantine records.
@@ -84,6 +86,15 @@ def emit_everything(tmp_path):
             calls=10, cumulative_seconds=0.5, total_seconds=0.1,
         )
     )
+    # Selection logs are emitted by callers holding the policy object
+    # (the executor only sees worker-returned dicts); exercise the
+    # builder the same way the perf events are exercised above.
+    writer.emit(
+        policy_selection_event(
+            key="k", label="schema", policy="dynamic-throttling",
+            time=0.5, selected_mtl=2,
+        )
+    )
     return read_telemetry(io.StringIO(sink.getvalue()))
 
 
@@ -91,7 +102,7 @@ class TestEmittedRecordsConform:
     def test_every_record_validates(self, tmp_path):
         records = emit_everything(tmp_path)
         kinds = {r["event"] for r in records}
-        assert kinds == set(EVENT_SCHEMAS)  # all eight kinds exercised
+        assert kinds == set(EVENT_SCHEMAS)  # every kind exercised
         for record in records:
             validate_record(record)
 
@@ -109,6 +120,12 @@ class TestEmittedRecordsConform:
             "retry": retry_event(
                 key="k", label="l", attempt=0, backoff_seconds=0.0,
                 reason="r", jobs=1,
+            ),
+            "policy_stat": policy_stat_event(
+                key="k", label="l", policy="p", stat="windows_closed", value=3.0
+            ),
+            "policy_selection": policy_selection_event(
+                key="k", label="l", policy="p", time=0.5, selected_mtl=2
             ),
             "cache_quarantine": cache_quarantine_event(key="k", path="p", reason="r"),
             "sweep": sweep_event(

@@ -143,11 +143,11 @@ class TestChaosOptions:
             line for line in capsys.readouterr().out.splitlines()
             if "Dynamic" in line
         ]
-        # seed=3/error=0.35 fails the Offline Exhaustive Search point
+        # seed=14/error=0.35 fails the Offline Exhaustive Search point
         # of this comparison but neither the baseline nor the dynamic
         # policy's (verified below: dynamic row unchanged, exit 3).
         code = main(["compare", "dft", "--retries", "0",
-                     "--inject-faults", "seed=3,error=0.35"])
+                     "--inject-faults", "seed=14,error=0.35"])
         captured = capsys.readouterr()
         assert code == 3
         assert "degraded" in captured.err
