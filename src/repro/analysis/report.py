@@ -19,8 +19,18 @@ if TYPE_CHECKING:  # avoid a layering cycle: analysis is below runtime
 __all__ = ["format_comparison", "format_comparison_grid", "geomean_improvement"]
 
 
-def format_comparison(result: ComparisonResult) -> str:
-    """One workload's policy comparison as a table."""
+def format_comparison(
+    result: ComparisonResult, include_stats: bool = False
+) -> str:
+    """One workload's policy comparison as a table.
+
+    With ``include_stats``, the per-plugin counter snapshots carried
+    on each :class:`~repro.runtime.experiment.PolicyOutcome` (the same
+    counters the executor emits as ``policy_stat`` telemetry) follow
+    the table as one ``policy: stat=value ...`` line per policy that
+    registered any; policies without counters are omitted.  Off by
+    default so existing golden artifacts keep their exact bytes.
+    """
     rows = []
     for outcome in result.outcomes:
         rows.append(
@@ -34,7 +44,21 @@ def format_comparison(result: ComparisonResult) -> str:
     table = render_table(
         ["Policy", "Speedup", "MTL", "Probe share"], rows
     )
-    return f"{result.program_name} on {result.machine_name}\n{table}"
+    report = f"{result.program_name} on {result.machine_name}\n{table}"
+    if include_stats:
+        stat_lines = [
+            "  {}: {}".format(
+                outcome.policy_name,
+                " ".join(f"{stat}={value:g}" for stat, value in outcome.stats),
+            )
+            for outcome in result.outcomes
+            if outcome.stats
+        ]
+        if stat_lines:
+            report += "\n\npolicy stats (instrumented run):\n" + "\n".join(
+                stat_lines
+            )
+    return report
 
 
 def format_comparison_grid(

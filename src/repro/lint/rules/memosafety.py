@@ -20,8 +20,9 @@ from repro.lint.rules.base import Rule, dotted_name
 __all__ = ["FrozenMutationRule", "MemoFieldMutationRule", "MEMO_KEY_FIELDS"]
 
 #: Field names treated as memo-signature inputs on ``__slots__``
-#: classes: anything spelled ``_sig*`` plus the dispatch-cached derived
-#: fields of :class:`~repro.sim.engine.RunningTask`.
+#: classes: anything spelled ``_sig*`` or ``_cohort*`` plus the
+#: dispatch-cached derived fields of
+#: :class:`~repro.sim.engine.RunningTask`.
 MEMO_KEY_FIELDS = frozenset({"demand", "total_units"})
 
 _CONSTRUCTORS = frozenset({"__init__", "__post_init__"})
@@ -126,11 +127,13 @@ class MemoFieldMutationRule(Rule):
     """RPR202: memo-signature field of a ``__slots__`` class reassigned.
 
     On a ``__slots__`` class, slots named ``_sig*`` (signature tuple
-    entries) or listed in :data:`MEMO_KEY_FIELDS` (``demand``,
-    ``total_units``) feed the rate-snapshot/equilibrium memo keys.
+    entries), ``_cohort*`` (rate-cohort keys derived from them), or
+    listed in :data:`MEMO_KEY_FIELDS` (``demand``, ``total_units``)
+    feed the rate-snapshot/equilibrium memo keys and the cohort table.
     They are computed once at dispatch; reassigning one after
     ``__init__`` would let a cached snapshot describe a population
-    that no longer exists.
+    that no longer exists — or strand a task in a cohort whose key no
+    longer matches its rate.
     """
 
     id = "RPR202"
@@ -148,7 +151,9 @@ class MemoFieldMutationRule(Rule):
             protected = {
                 name
                 for name in slots
-                if name.startswith("_sig") or name in MEMO_KEY_FIELDS
+                if name.startswith("_sig")
+                or name.startswith("_cohort")
+                or name in MEMO_KEY_FIELDS
             }
             if not protected:
                 continue

@@ -76,6 +76,12 @@ class MemorySystem:
             object.__setattr__(self, "_solver", solver)
         return solver
 
+    def equilibrium_cache_info(self) -> Dict[str, int]:
+        """Counters of the shared solver (hits, misses, warm-start
+        hits, iterations saved); feeds ``equilibrium_warm`` telemetry
+        without handing callers the solver itself."""
+        return self.equilibrium_solver().cache_info()
+
     def resolve(
         self,
         demands: Sequence[MemoryDemand],

@@ -45,13 +45,21 @@ INSTRUMENT_SEED = 997
 
 @dataclass(frozen=True)
 class PolicyOutcome:
-    """One policy's measured performance on one workload."""
+    """One policy's measured performance on one workload.
+
+    ``stats`` carries the policy plugin's registered-counter snapshot
+    from the instrumented run (``windows_closed``, blacklist sizes,
+    …) as sorted ``(stat, value)`` pairs — the same counters the
+    executor emits as ``policy_stat`` telemetry — or ``None`` for
+    policies that expose no counters (e.g. plain static policies).
+    """
 
     policy_name: str
     makespan: float
     speedup: float
     selected_mtl: Optional[int]
     probe_fraction: float
+    stats: Optional[Tuple[Tuple[str, float], ...]] = None
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,7 @@ def compare_policies(
             selected: Optional[int] = instrumented.dominant_mtl()
         except MeasurementError:
             selected = None
+        snapshot = getattr(instrumented_policy, "stats_snapshot", None)
         outcomes.append(
             PolicyOutcome(
                 policy_name=name,
@@ -137,6 +146,11 @@ def compare_policies(
                 speedup=baseline / makespan if makespan > 0 else float("inf"),
                 selected_mtl=selected,
                 probe_fraction=instrumented.probe_task_time_fraction(),
+                stats=(
+                    tuple(sorted(snapshot().items()))
+                    if callable(snapshot)
+                    else None
+                ),
             )
         )
     return ComparisonResult(
@@ -262,6 +276,11 @@ def compare_policies_grid(
                 speedup=baseline / makespan if makespan > 0 else float("inf"),
                 selected_mtl=instrumented.selected_mtl,
                 probe_fraction=instrumented.probe_fraction,
+                stats=(
+                    tuple(sorted(instrumented.policy_stats.items()))
+                    if instrumented.policy_stats is not None
+                    else None
+                ),
             )
         )
     first = next(r for r in results if isinstance(r, PointResult))

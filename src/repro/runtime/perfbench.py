@@ -9,22 +9,36 @@ for how to read it):
   (``fast_path=False``, byte-for-byte the seed algorithm), the pure
   closed-form fast path, and the memoized
   :class:`~repro.memory.equilibrium.EquilibriumSolver` hit path the
-  engine actually rides.  The iterative number doubles as the honest
-  "before", since that code path is unchanged.
+  engine actually rides.  The iterative numbers double as the honest
+  "before", since that code path is unchanged.  The headline
+  ``mixed_solves_per_sec`` drives a *stream* of distinct mixed
+  populations (different full memo keys, shared canonical projection)
+  through fresh solvers — the access pattern a simulated run produces
+  as pure-CPU tasks come and go around a stable memory population —
+  so it measures the warm-started solver path end to end: one cold
+  damped iteration amortized over its warm-started siblings.
 * **engine** — end-to-end simulated events/sec of one Figure 13 point
   (offline search, four static-MTL runs), plus the snapshot/equilibrium
   cache hit rates of a direct simulator run (emitted as
-  ``snapshot_cache`` telemetry when ``--telemetry`` is given).
+  ``snapshot_cache`` / ``equilibrium_warm`` telemetry when
+  ``--telemetry`` is given).
 * **fig13** — wall-clock of the Figure 13 synthetic sweep at
   ``jobs=1`` (``--quick`` runs a 16-ratio subset; per-point wall makes
   the two comparable).
 * **fig14** — wall-clock of one Figure 14 point (``dft`` under the
   dynamic policy).
 
+Every section repeats its unit of work and reports the **median** rep
+(robust to one slow rep on a noisy shared machine, where a mean is
+not), persisting the full rep spread — ``{median, min, max}`` per
+metric — under the section's ``"spread"`` key.
+
 Numbers for the seed engine live in ``benchmarks/perf/baseline.json``
 (``"seed"`` block); the report derives before/after speedups from it.
 ``--check`` compares measured engine events/sec against the baseline's
-``"current"`` block and fails on a >30 % regression — the CI tripwire
+``"current"`` block and fails on a >30 % regression, and additionally
+enforces every entry of the baseline's ``"floors"`` block (seed-anchored
+hard minimums for the schema-2 headline metrics) — the CI tripwire
 that protects the optimization.  ``--profile`` wraps the engine
 benchmark in :mod:`cProfile` and reports the top functions by
 cumulative time (also as ``profile`` telemetry events).
@@ -37,8 +51,9 @@ import gc
 import json
 import pathlib
 import pstats
+import statistics
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import MeasurementError
 from repro.memory.equilibrium import (
@@ -55,6 +70,7 @@ from repro.runtime.parallel import (
 )
 from repro.runtime.telemetry import (
     TelemetryWriter,
+    equilibrium_warm_event,
     profile_event,
     snapshot_cache_event,
 )
@@ -72,13 +88,21 @@ __all__ = [
     "format_report",
 ]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 DEFAULT_OUTPUT_PATH = "BENCH_sim.json"
 DEFAULT_BASELINE_PATH = "benchmarks/perf/baseline.json"
 
 #: Allowed events/sec regression before ``--check`` fails (the CI gate).
 REGRESSION_TOLERANCE = 0.30
+
+#: Where each checkable ``floors`` metric lives in the report:
+#: ``floors`` key -> (section, metric).
+_FLOOR_METRICS: Dict[str, Tuple[str, str]] = {
+    "engine_events_per_sec": ("engine", "events_per_sec"),
+    "equilibrium_mixed_solves_per_sec": ("equilibrium", "mixed_solves_per_sec"),
+    "warm_start_hit_rate": ("equilibrium", "warm_start_hit_rate"),
+}
 
 #: The fig13 grid (mirrors benchmarks/test_fig13_synthetic_sweep.py).
 _FIG13_RATIOS = [round(0.05 * i, 2) for i in range(1, 81)]
@@ -91,6 +115,10 @@ _I7_LLC = {"capacity_bytes": mebibytes(8), "sharers": 4}
 #: the iterative path's per-solve cost is dominated by real work, not
 #: loop setup.
 _EQ_POPULATION = 64
+
+#: Distinct populations per warm-start stream (one cold solve
+#: amortized over ``_EQ_STREAM - 1`` warm-started siblings).
+_EQ_STREAM = 32
 
 
 def _fig13_point(ratio: float) -> SweepPoint:
@@ -107,16 +135,37 @@ def _fig13_point(ratio: float) -> SweepPoint:
     )
 
 
-def _time(fn: Callable[[], Any], reps: int) -> float:
-    """Wall-clock seconds for ``reps`` calls of ``fn``."""
-    start = time.perf_counter()
+def _rep_seconds(fn: Callable[[], Any], reps: int) -> List[float]:
+    """Wall-clock seconds of each of ``reps`` calls of ``fn``."""
+    times = []
     for _ in range(reps):
+        start = time.perf_counter()
         fn()
-    return time.perf_counter() - start
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _spread(values: List[float]) -> Dict[str, float]:
+    """``{median, min, max}`` of one per-rep metric across reps."""
+    return {
+        "median": statistics.median(values),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def _rate_reps(fn: Callable[[], Any], inner: int, outer: int) -> List[float]:
+    """Per-rep rates (calls/sec) for ``outer`` reps of ``inner`` calls."""
+
+    def batch() -> None:
+        for _ in range(inner):
+            fn()
+
+    return [inner / seconds for seconds in _rep_seconds(batch, outer)]
 
 
 def _bench_equilibrium(quick: bool) -> Dict[str, Any]:
-    """Solves/sec of the three equilibrium paths on fixed populations."""
+    """Solves/sec of the equilibrium paths on fixed populations."""
     machine = i7_860()
     latency_fn = machine.memory.request_latency
     pure = [MemoryDemand(0.0, 1.0) for _ in range(_EQ_POPULATION)]
@@ -124,51 +173,120 @@ def _bench_equilibrium(quick: bool) -> Dict[str, Any]:
         MemoryDemand(0.0 if i % 2 else 1e-3, 0.5 + 0.01 * i)
         for i in range(_EQ_POPULATION)
     ]
-    reps = 2_000 if quick else 20_000
-    mixed_reps = 500 if quick else 2_000
+    outer = 4 if quick else 10
+    inner = 500 if quick else 2_000
+    mixed_inner = 125 if quick else 200
 
-    iterative = _time(
-        lambda: effective_concurrency(pure, latency_fn, fast_path=False), reps
+    iterative = _rate_reps(
+        lambda: effective_concurrency(pure, latency_fn, fast_path=False),
+        inner,
+        outer,
     )
-    fast = _time(lambda: effective_concurrency(pure, latency_fn), reps)
+    fast = _rate_reps(
+        lambda: effective_concurrency(pure, latency_fn), inner, outer
+    )
 
     solver = EquilibriumSolver(latency_fn)
     key = demand_signature(pure)
     solver.solve(pure, key=key)  # warm the memo: measure the hit path
-    memoized = _time(lambda: solver.solve(pure, key=key), reps)
+    memoized = _rate_reps(lambda: solver.solve(pure, key=key), inner, outer)
 
-    mixed_iterative = _time(
+    mixed_iterative = _rate_reps(
         lambda: effective_concurrency(mixed, latency_fn, fast_path=False),
-        mixed_reps,
+        mixed_inner,
+        outer,
     )
     mixed_key = demand_signature(mixed)
     solver.solve(mixed, key=mixed_key)
-    mixed_memoized = _time(
-        lambda: solver.solve(mixed, key=mixed_key), mixed_reps
+    mixed_memoized = _rate_reps(
+        lambda: solver.solve(mixed, key=mixed_key), mixed_inner, outer
     )
 
-    return {
-        "population": _EQ_POPULATION,
-        "pure_iterative_solves_per_sec": reps / iterative,
-        "pure_fast_path_solves_per_sec": reps / fast,
-        "pure_memoized_solves_per_sec": reps / memoized,
-        "pure_fast_path_speedup": iterative / fast,
-        "pure_memoized_speedup": iterative / memoized,
-        "mixed_iterative_solves_per_sec": mixed_reps / mixed_iterative,
-        "mixed_memoized_solves_per_sec": mixed_reps / mixed_memoized,
-        "mixed_memoized_speedup": mixed_iterative / mixed_memoized,
+    # The warm-start stream: _EQ_STREAM distinct full keys sharing one
+    # canonical (memory-demand) projection.  Half the population is a
+    # fixed mixed memory sub-population; the other half is pure-CPU
+    # demand whose magnitude varies per stream member, so every member
+    # misses the full-key memo but (after the first) warm-hits the
+    # canonical one.  Fresh solver per pass — stream members must stay
+    # memo misses, or the benchmark degrades into the hit path.
+    memory_half = [
+        MemoryDemand(1e-3 if i % 2 else 0.0, 0.5 + 0.01 * i)
+        for i in range(_EQ_POPULATION // 2)
+    ]
+    stream: List[Tuple[bytes, List[MemoryDemand]]] = []
+    for member in range(_EQ_STREAM):
+        cpu_half = [
+            MemoryDemand(1e-3 + 1e-6 * (member * 37 + i), 0.0)
+            for i in range(_EQ_POPULATION // 2)
+        ]
+        population = [
+            demand
+            for pair in zip(memory_half, cpu_half)
+            for demand in pair
+        ]
+        stream.append((demand_signature(population), population))
+
+    stream_passes = 10 if quick else 40
+    warm_info: Dict[str, int] = {}
+
+    def run_stream() -> None:
+        for _ in range(stream_passes):
+            fresh = EquilibriumSolver(latency_fn)
+            for signature, population in stream:
+                fresh.solve(population, key=signature)
+            warm_info.update(fresh.cache_info())
+
+    solves_per_rep = stream_passes * _EQ_STREAM
+    mixed_stream = [
+        solves_per_rep / seconds
+        for seconds in _rep_seconds(run_stream, outer)
+    ]
+    solves = warm_info["warm_hits"] + warm_info["cold_solves"]
+    hit_rate = warm_info["warm_hits"] / solves if solves else 0.0
+
+    rates = {
+        "pure_iterative_solves_per_sec": iterative,
+        "pure_fast_path_solves_per_sec": fast,
+        "pure_memoized_solves_per_sec": memoized,
+        "mixed_iterative_solves_per_sec": mixed_iterative,
+        "mixed_memoized_solves_per_sec": mixed_memoized,
+        "mixed_solves_per_sec": mixed_stream,
     }
+    report: Dict[str, Any] = {
+        "population": _EQ_POPULATION,
+        "stream_length": _EQ_STREAM,
+    }
+    for name, values in rates.items():
+        report[name] = statistics.median(values)
+    report["pure_fast_path_speedup"] = (
+        report["pure_fast_path_solves_per_sec"]
+        / report["pure_iterative_solves_per_sec"]
+    )
+    report["pure_memoized_speedup"] = (
+        report["pure_memoized_solves_per_sec"]
+        / report["pure_iterative_solves_per_sec"]
+    )
+    report["mixed_memoized_speedup"] = (
+        report["mixed_memoized_solves_per_sec"]
+        / report["mixed_iterative_solves_per_sec"]
+    )
+    report["mixed_stream_speedup"] = (
+        report["mixed_solves_per_sec"]
+        / report["mixed_iterative_solves_per_sec"]
+    )
+    report["warm_start_hit_rate"] = hit_rate
+    report["warm_cache"] = dict(warm_info)
+    report["spread"] = {name: _spread(values) for name, values in rates.items()}
+    return report
 
 
 def _bench_engine(quick: bool) -> Dict[str, Any]:
     """End-to-end events/sec of one fig13 point, plus cache hit rates."""
     point = _fig13_point(1.0)
     reps = 5 if quick else 20
-    events = 0
-    start = time.perf_counter()
-    for _ in range(reps):
-        events += run_point(point).sim_events
-    wall = time.perf_counter() - start
+    events_per_rep = run_point(point).sim_events  # deterministic per point
+    rep_walls = _rep_seconds(lambda: run_point(point), reps)
+    rep_rates = [events_per_rep / wall for wall in rep_walls]
 
     # Direct run of the same workload for cache-effectiveness stats
     # (run_point hides its simulator, so instrument one explicitly).
@@ -179,19 +297,20 @@ def _bench_engine(quick: bool) -> Dict[str, Any]:
     for mtl in range(1, machine.context_count + 1):
         simulator.run_graph(graph, FixedMtlPolicy(mtl), program.name)
     snapshot_stats = simulator.rate_calculator.cache_info()
-    eq = machine.memory.equilibrium_solver()
+    eq_stats = machine.memory.equilibrium_cache_info()
 
     return {
         "reps": reps,
-        "wall_seconds": wall,
-        "events": events,
-        "events_per_sec": events / wall,
-        "snapshot_cache": snapshot_stats,
-        "equilibrium_cache": {
-            "hits": eq.hits,
-            "misses": eq.misses,
-            "entries": len(eq),
+        "wall_seconds": sum(rep_walls),
+        "events": events_per_rep * reps,
+        "events_per_rep": events_per_rep,
+        "events_per_sec": statistics.median(rep_rates),
+        "spread": {
+            "events_per_sec": _spread(rep_rates),
+            "rep_wall_seconds": _spread(rep_walls),
         },
+        "snapshot_cache": snapshot_stats,
+        "equilibrium_cache": eq_stats,
     }
 
 
@@ -199,19 +318,26 @@ def _bench_fig13(quick: bool) -> Dict[str, Any]:
     """Wall-clock of the fig13 sweep at jobs=1 (quick: 16-ratio subset)."""
     ratios = _FIG13_RATIOS[4::5] if quick else _FIG13_RATIOS
     points = [_fig13_point(ratio) for ratio in ratios]
-    executor = SweepExecutor(jobs=1)
-    start = time.perf_counter()
-    results = executor.run(points)
-    wall = time.perf_counter() - start
-    events = sum(result.sim_events for result in results)
+    reps = 3
+    events = 0
+
+    def sweep() -> None:
+        nonlocal events
+        executor = SweepExecutor(jobs=1)
+        events = sum(result.sim_events for result in executor.run(points))
+
+    rep_walls = _rep_seconds(sweep, reps)
+    wall = statistics.median(rep_walls)
     return {
         "points": len(points),
         "pairs": _FIG13_PAIRS,
         "footprint_mb": _FIG13_FOOTPRINT_MB,
+        "reps": reps,
         "wall_seconds": wall,
         "wall_seconds_per_point": wall / len(points),
         "events": events,
         "events_per_sec": events / wall,
+        "spread": {"wall_seconds": _spread(rep_walls)},
     }
 
 
@@ -223,15 +349,13 @@ def _bench_fig14(quick: bool) -> Dict[str, Any]:
         label="perfbench/fig14/dft-dynamic",
     )
     reps = 10 if quick else 50
-    events = 0
-    start = time.perf_counter()
-    for _ in range(reps):
-        events += run_point(point).sim_events
-    wall = time.perf_counter() - start
+    events = run_point(point).sim_events
+    rep_walls = _rep_seconds(lambda: run_point(point), reps)
     return {
         "reps": reps,
-        "wall_seconds_per_point": wall / reps,
-        "events": events // reps,
+        "wall_seconds_per_point": statistics.median(rep_walls),
+        "events": events,
+        "spread": {"wall_seconds_per_point": _spread(rep_walls)},
     }
 
 
@@ -282,10 +406,13 @@ def _speedups(
 ) -> Dict[str, Any]:
     """Before/after ratios against the baseline's seed measurements."""
     speedups: Dict[str, Any] = {
-        # Same-run, same-hardware ratio: memo hit vs the unchanged
-        # iterative algorithm.
+        # Same-run, same-hardware ratios: memo hit / warm-started
+        # stream vs the unchanged iterative algorithm.
         "equilibrium_pure_memoized_vs_iterative": report["equilibrium"][
             "pure_memoized_speedup"
+        ],
+        "equilibrium_mixed_stream_vs_iterative": report["equilibrium"][
+            "mixed_stream_speedup"
         ],
     }
     seed = (baseline or {}).get("seed")
@@ -299,6 +426,11 @@ def _speedups(
         if seed_eps:
             speedups["engine_events_per_sec_vs_seed"] = (
                 report["engine"]["events_per_sec"] / seed_eps
+            )
+        seed_mixed = seed.get("equilibrium_mixed_solves_per_sec")
+        if seed_mixed:
+            speedups["equilibrium_mixed_vs_seed"] = (
+                report["equilibrium"]["mixed_solves_per_sec"] / seed_mixed
             )
         seed_fig14 = seed.get("fig14_point_wall_seconds")
         if seed_fig14:
@@ -314,24 +446,48 @@ def check_against_baseline(
     """Regression check for CI; returns failure messages (empty = pass).
 
     Compares measured engine events/sec against the baseline's
-    ``current`` block with :data:`REGRESSION_TOLERANCE` headroom.
+    ``current`` block with :data:`REGRESSION_TOLERANCE` headroom, then
+    enforces every entry of the baseline's optional ``floors`` block
+    as a hard minimum (no extra tolerance — floors are already set
+    conservatively; see :data:`_FLOOR_METRICS` for where each metric
+    is read from the report).  Schema-1 baselines have no ``floors``
+    block and get exactly the old behaviour.
     """
     if baseline is None:
         return ["no baseline file found; cannot check for regressions"]
     current = baseline.get("current")
     if not isinstance(current, dict) or not current.get("engine_events_per_sec"):
         return ["baseline has no current.engine_events_per_sec to check against"]
+    failures: List[str] = []
     floor = (1.0 - REGRESSION_TOLERANCE) * float(
         current["engine_events_per_sec"]
     )
     measured = report["engine"]["events_per_sec"]
     if measured < floor:
-        return [
+        failures.append(
             f"engine events/sec regressed: measured {measured:.0f} < "
             f"{floor:.0f} (70% of baseline "
             f"{float(current['engine_events_per_sec']):.0f})"
-        ]
-    return []
+        )
+    floors = baseline.get("floors")
+    if isinstance(floors, dict):
+        for name in sorted(floors):
+            location = _FLOOR_METRICS.get(name)
+            if location is None:
+                failures.append(
+                    f"baseline floors name unknown metric {name!r}; "
+                    "checkable: " + ", ".join(sorted(_FLOOR_METRICS))
+                )
+                continue
+            section, metric = location
+            value = report[section][metric]
+            minimum = float(floors[name])
+            if value < minimum:
+                failures.append(
+                    f"{name} below floor: measured {value:.4g} < "
+                    f"floor {minimum:.4g}"
+                )
+    return failures
 
 
 def run_perfbench(
@@ -374,6 +530,19 @@ def run_perfbench(
                     entries=stats["entries"],
                 )
             )
+        for label, warm in (
+            ("perfbench/engine", engine["equilibrium_cache"]),
+            ("perfbench/equilibrium", report["equilibrium"]["warm_cache"]),
+        ):
+            telemetry.emit(
+                equilibrium_warm_event(
+                    label=label,
+                    warm_hits=warm["warm_hits"],
+                    cold_solves=warm["cold_solves"],
+                    iterations_saved=warm["iterations_saved"],
+                    warm_entries=warm["warm_entries"],
+                )
+            )
         for row in report.get("profile", []):
             telemetry.emit(
                 profile_event(
@@ -395,21 +564,28 @@ def format_report(report: Dict[str, Any]) -> str:
     fig13 = report["fig13"]
     fig14 = report["fig14"]
     lines = [
-        f"perfbench ({'quick' if report['quick'] else 'full'} mode)",
+        f"perfbench ({'quick' if report['quick'] else 'full'} mode, "
+        "median of reps)",
         "",
-        f"equilibrium (pure population of {eq['population']}):",
-        f"  iterative  {eq['pure_iterative_solves_per_sec']:>12,.0f} solves/s",
-        f"  fast path  {eq['pure_fast_path_solves_per_sec']:>12,.0f} solves/s"
+        f"equilibrium (population of {eq['population']}):",
+        f"  iterative    {eq['pure_iterative_solves_per_sec']:>12,.0f} solves/s",
+        f"  fast path    {eq['pure_fast_path_solves_per_sec']:>12,.0f} solves/s"
         f"  ({eq['pure_fast_path_speedup']:.1f}x)",
-        f"  memoized   {eq['pure_memoized_solves_per_sec']:>12,.0f} solves/s"
+        f"  memoized     {eq['pure_memoized_solves_per_sec']:>12,.0f} solves/s"
         f"  ({eq['pure_memoized_speedup']:.1f}x)",
+        f"  mixed cold   {eq['mixed_iterative_solves_per_sec']:>12,.0f} solves/s",
+        f"  mixed stream {eq['mixed_solves_per_sec']:>12,.0f} solves/s"
+        f"  ({eq['mixed_stream_speedup']:.1f}x, "
+        f"warm hit rate {eq['warm_start_hit_rate']:.0%})",
         "",
         f"engine: {engine['events_per_sec']:,.0f} events/s "
-        f"({engine['events']} events in {engine['wall_seconds']:.3f}s)",
+        f"(median of {engine['reps']} reps, "
+        f"{engine['events_per_rep']} events/rep)",
         f"  snapshot cache: {engine['snapshot_cache']['hits']} hits / "
         f"{engine['snapshot_cache']['misses']} misses",
         f"  equilibrium cache: {engine['equilibrium_cache']['hits']} hits / "
-        f"{engine['equilibrium_cache']['misses']} misses",
+        f"{engine['equilibrium_cache']['misses']} misses "
+        f"({engine['equilibrium_cache']['warm_hits']} warm-started)",
         "",
         f"fig13 sweep (jobs=1, {fig13['points']} points): "
         f"{fig13['wall_seconds']:.3f}s "
@@ -421,6 +597,7 @@ def format_report(report: Dict[str, Any]) -> str:
     shown = {
         "fig13_wall_vs_seed": "fig13 wall vs seed",
         "engine_events_per_sec_vs_seed": "engine events/s vs seed",
+        "equilibrium_mixed_vs_seed": "equilibrium mixed stream vs seed",
         "fig14_point_vs_seed": "fig14 point vs seed",
         "equilibrium_pure_memoized_vs_iterative": "equilibrium memo vs iterative",
     }

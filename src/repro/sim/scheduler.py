@@ -89,6 +89,17 @@ class MtlGate:
     def in_use(self) -> int:
         return self._in_use
 
+    @property
+    def available(self) -> bool:
+        """Whether :meth:`try_acquire` would currently grant a token.
+
+        A failed ``try_acquire`` has no side effects, so dispatchers
+        may consult this first and skip the whole memory-dispatch
+        attempt while the gate is saturated (the cohort-batched loop
+        does, once per scan, instead of one failed acquire per idle
+        context)."""
+        return self._in_use < self._limit
+
     def set_limit(self, limit: int) -> None:
         if limit < 1:
             raise ConfigurationError(f"MTL limit must be >= 1, got {limit}")
@@ -117,7 +128,8 @@ class WorkQueue:
 
     def __init__(self, graph: TaskGraph) -> None:
         self._graph = graph
-        self._remaining_deps: Dict[str, int] = {}
+        self._dependents_of = graph.dependents
+        self._remaining_deps: Dict[str, int] = graph.initial_dependency_counts()
         self._ready_memory: Deque[Task] = deque()
         self._ready_compute: Deque[Task] = deque()
         self._completed: set = set()
@@ -129,10 +141,10 @@ class WorkQueue:
         #: ready-queue scan for contexts that own no claim at all.
         self._affinity_counts: Dict[int, int] = {}
 
-        for task in graph.topological_order():
-            self._remaining_deps[task.task_id] = len(task.depends_on)
-            if not task.depends_on:
-                self._enqueue(task)
+        # Dependency-free tasks enqueue in topological order — the
+        # same order the per-task scan this replaces produced.
+        for task in graph.root_tasks():
+            self._enqueue(task)
 
     def _enqueue(self, task: Task) -> None:
         if task.is_memory:
@@ -183,6 +195,33 @@ class WorkQueue:
         self._dispatched.add(task.task_id)
         return task
 
+    def try_dispatch_memory(self, gate: "MtlGate", context_id: int) -> Optional[Task]:
+        """Fused memory dispatch: the pending check, gate acquisition,
+        dequeue, and affinity note of a successful
+        ``pop_memory`` + ``note_memory_ran_on`` sequence in one call.
+
+        Exactly equivalent to the unfused sequence (same checks, same
+        order, token released on no other path), but the event loop
+        pays one method call instead of four-plus per memory dispatch.
+        Callers that consult a ``blocks_context`` veto must keep using
+        the unfused path so the plugin sees every attempt.
+        """
+        if not self._ready_memory:
+            return None
+        if not gate.try_acquire():
+            return None
+        task = self._ready_memory.popleft()
+        self._dispatched.add(task.task_id)
+        key = (task.phase_index, task.pair_index)
+        previous = self._affinity.get(key)
+        if previous != context_id:
+            counts = self._affinity_counts
+            if previous is not None:
+                counts[previous] -= 1
+            self._affinity[key] = context_id
+            counts[context_id] = counts.get(context_id, 0) + 1
+        return task
+
     def note_memory_ran_on(self, task: Task, context_id: int) -> None:
         """Record affinity for the pair's upcoming compute task."""
         key = (task.phase_index, task.pair_index)
@@ -208,14 +247,19 @@ class WorkQueue:
         self._completed.add(task_id)
         newly_ready: List[Task] = []
         remaining = self._remaining_deps
-        for dependent in self._graph.dependents(task_id):
-            count = remaining[dependent.task_id] - 1
-            remaining[dependent.task_id] = count
+        for dependent in self._dependents_of(task_id):
+            dependent_id = dependent.task_id
+            count = remaining[dependent_id] - 1
+            remaining[dependent_id] = count
             if count == 0:
-                self._enqueue(dependent)
+                # _enqueue, inlined: this runs once per task per run.
+                if dependent.is_memory:
+                    self._ready_memory.append(dependent)
+                else:
+                    self._ready_compute.append(dependent)
                 newly_ready.append(dependent)
             elif count < 0:
                 raise SchedulingError(
-                    f"dependency count of {dependent.task_id!r} went negative"
+                    f"dependency count of {dependent_id!r} went negative"
                 )
         return newly_ready

@@ -16,6 +16,24 @@ The loop alternates two actions until the work queue drains:
    MTL tokens, unlock dependents, and are reported to the policy,
    which may retune the MTL for subsequent dispatches.
 
+Two implementations of the loop exist, selected by the
+``cohort_batching`` constructor flag:
+
+* **Cohort-batched** (the default) — the population is grouped into
+  same-rate cohorts (:class:`~repro.sim.engine.CohortTable`): one
+  ``min`` over remaining work and one ``dt * speed`` product advance a
+  whole cohort, the signature memo key is maintained incrementally,
+  idle contexts are tracked in a sorted list instead of rescanned, and
+  MTL validation/plugin no-op hooks are skipped when provably inert.
+  Everything the batch computes is bitwise-equal to stepping tasks one
+  by one — ``min(r_i) / s == min(r_i / s)`` because float division is
+  weakly monotone, and cohort members share bitwise-equal rates by
+  construction — so results are bit-identical to the reference loop.
+* **Reference** (``cohort_batching=False``) — the seed's per-task
+  stepping, kept as the oracle for the equivalence tests
+  (``tests/sim/test_cohort_advancement.py``) and for bisecting any
+  future divergence.
+
 Determinism: given the same program, machine, policy, and noise seed,
 two runs produce identical results.
 """
@@ -23,11 +41,18 @@ two runs produce identical results.
 from __future__ import annotations
 
 import math
+from bisect import insort
 from typing import Dict, List, Optional
 
 from repro.core.plugin import ThrottlePolicyPlugin
+from repro.core.policies import FixedMtlPolicy
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.engine import RateCalculator, RunningTask
+from repro.sim.engine import (
+    _COMPLETION_EPSILON,
+    CohortTable,
+    RateCalculator,
+    RunningTask,
+)
 from repro.sim.events import MtlChange, TaskRecord
 from repro.sim.machine import Machine, i7_860
 from repro.sim.noise import NoiseModel, ZeroNoise
@@ -38,8 +63,9 @@ from repro.stream.task import Task
 
 __all__ = ["Simulator", "simulate"]
 
-#: Relative work threshold below which a task counts as finished.
-_COMPLETION_EPSILON = 1e-9
+#: ``TaskRecord.__new__``, hoisted for the batched loop's fast record
+#: construction (see the comment at the construction site).
+_RECORD_NEW = TaskRecord.__new__
 
 
 def _plugin_hook(policy: SchedulingPolicy, name: str):
@@ -71,6 +97,11 @@ class Simulator:
             cache-friendly order the paper's runtime exhibits) or
             ``"memory-first"`` (keep the memory pipeline maximally
             full; exists for the scheduling-order ablation).
+        cohort_batching: Use the cohort-batched event loop (the
+            default).  ``False`` selects the per-task reference loop;
+            results are bit-identical either way (the equivalence
+            tests pin this), the flag exists so tests can compare the
+            two and any future divergence can be bisected.
     """
 
     _DISPATCH_PREFERENCES = ("compute-first", "memory-first")
@@ -80,6 +111,7 @@ class Simulator:
         machine: Machine,
         noise: Optional[NoiseModel] = None,
         dispatch_preference: str = "compute-first",
+        cohort_batching: bool = True,
     ) -> None:
         if dispatch_preference not in self._DISPATCH_PREFERENCES:
             raise ConfigurationError(
@@ -89,6 +121,7 @@ class Simulator:
         self.machine = machine
         self.noise: NoiseModel = noise if noise is not None else ZeroNoise()
         self.dispatch_preference = dispatch_preference
+        self.cohort_batching = bool(cohort_batching)
         self._rates = RateCalculator(machine.processor, machine.memory)
         # Read once: the policy-validation path consults it per event.
         self._context_count = machine.context_count
@@ -122,13 +155,489 @@ class Simulator:
         blocks = _plugin_hook(policy, "blocks_context")
         gate = MtlGate(self._validated_mtl(policy))
         contexts = self.machine.processor.contexts()
-        running: Dict[int, RunningTask] = {}
         records: List[TaskRecord] = []
         mtl_changes: List[MtlChange] = [
             MtlChange(time=0.0, old_mtl=gate.limit, new_mtl=gate.limit, reason="initial")
         ]
-        now = 0.0
+        loop = self._run_batched if self.cohort_batching else self._run_reference
+        loop(
+            graph, queue, policy, name, gate, contexts, records, mtl_changes,
+            on_dispatch, blocks,
+        )
+        return SimulationResult(
+            program_name=name,
+            machine_name=self.machine.name,
+            policy_name=policy.name,
+            context_count=self.machine.context_count,
+            records=tuple(records),
+            mtl_changes=tuple(mtl_changes),
+        )
 
+    # -- shared helpers ------------------------------------------------
+
+    def _validated_mtl(self, policy: SchedulingPolicy) -> int:
+        mtl = policy.current_mtl()
+        if not 1 <= mtl <= self._context_count:
+            raise ConfigurationError(
+                f"policy {policy.name!r} requested MTL {mtl}, outside "
+                f"[1, {self._context_count}]"
+            )
+        return mtl
+
+    def _no_progress(self, graph, queue: WorkQueue) -> SimulationError:
+        if queue.has_ready_work():
+            return SimulationError(
+                "no task running yet ready work exists; the MTL gate "
+                "is wedged (this is a scheduler bug)"
+            )
+        return SimulationError(
+            f"deadlock: {len(graph) - queue.completed_count} tasks "
+            "can never become ready"
+        )
+
+    def _try_memory(
+        self, queue: WorkQueue, gate: MtlGate, context_id: int, now: float,
+        blocks=None,
+    ) -> Optional[Task]:
+        """Dispatch a memory task if one is ready, the policy does not
+        veto this context (blacklist plugins), and the gate grants."""
+        if queue.pending_memory > 0:
+            if blocks is not None and blocks(context_id, now):
+                return None
+            if gate.try_acquire():
+                task = queue.pop_memory()
+                if task is None:  # pragma: no cover - guarded by pending_memory
+                    gate.release()
+                    return None
+                queue.note_memory_ran_on(task, context_id)
+                return task
+        return None
+
+    # -- the cohort-batched loop (default) -----------------------------
+
+    def _run_batched(
+        self, graph, queue, policy, name, gate, contexts, records,
+        mtl_changes, on_dispatch, blocks,
+    ) -> None:
+        """The optimized event loop.
+
+        One deliberately flat function: every per-event cost lives in a
+        local, dispatch and advance are inlined, and the population's
+        cohort structure decides per event between two advance paths —
+
+        * **per-task stepping** when every cohort is a singleton (one
+          hardware context per core, distinct demands): the batch
+          apparatus cannot save anything, so the loop degenerates to
+          the reference stepping minus its per-event overheads
+          (signature rebuilds, full context rescans, redundant MTL
+          validation, no-op plugin hooks);
+        * **cohort batching** otherwise: one ``min`` over remaining
+          work and one ``dt * speed`` product per cohort.
+          ``min(r_i) / s == min(r_i / s)`` bitwise for ``s > 0``
+          (division by a positive float is weakly monotone) and
+          members share bitwise-equal rates by construction, so both
+          paths produce bit-identical results.
+
+        The ``CohortTable`` slots are aliased as locals and mutated
+        inline (see its docstring for the bookkeeping contract).
+        """
+        running: Dict[int, RunningTask] = {}
+        cohorts = CohortTable()
+        population = cohorts.population
+        signatures = cohorts.signatures
+        cohort_map = cohorts.cohorts
+        #: context_id -> position in the dispatch scan order.
+        positions = {
+            context.context_id: index for index, context in enumerate(contexts)
+        }
+        #: Idle scan positions, ascending — dispatch removes, completion
+        #: re-inserts in order, so a scan visits exactly the idle
+        #: contexts in the same order the reference loop's full scan
+        #: would reach them.
+        idle = list(range(len(contexts)))
+        on_complete = _plugin_hook(policy, "on_task_complete")
+        probing = _plugin_hook(policy, "is_probing")
+
+        # Hot-path hoists: bound methods and constants the loop touches
+        # every event.
+        current_mtl = policy.current_mtl
+        policy_name = policy.name
+        has_ready = queue.has_ready_work
+        pop_compute = queue.pop_compute
+        dispatch_memory = queue.try_dispatch_memory
+        mark_complete = queue.mark_complete
+        release = gate.release
+        try_memory = self._try_memory
+        duration_factor = self.noise.duration_factor
+        dispatch_overhead = self.noise.dispatch_overhead
+        # Exactly-ZeroNoise models return 1.0 / 0.0 unconditionally and
+        # hold no RNG, so skipping their calls drops no stream draws,
+        # and ``work_units * 1.0 == work_units`` bitwise.
+        zero_noise = type(self.noise) is ZeroNoise
+        snapshot_keyed = self._rates.snapshot_keyed
+        memory_first = self.dispatch_preference == "memory-first"
+        context_ids = [context.context_id for context in contexts]
+        core_ids = [context.core_id for context in contexts]
+        context_count = self._context_count
+        eps = _COMPLETION_EPSILON
+        inf = math.inf
+        isfinite = math.isfinite
+        records_append = records.append
+        # An exactly-FixedMtlPolicy policy returns one constant forever
+        # and the gate already holds it (validated at creation), so the
+        # whole per-event MTL sync is provably a no-op.  The exact type
+        # check keeps subclasses with livelier ``current_mtl`` honest.
+        static_mtl = type(policy) is FixedMtlPolicy
+
+        now = 0.0
+        #: Completions seen so far; ``queue.mark_complete`` raises on a
+        #: double completion, so this equals ``queue.completed_count``
+        #: without re-deriving it from the queue every event.
+        completed_count = queue.completed_count
+        graph_size = len(graph)
+        max_iterations = 10 * graph_size + 1000
+        iterations = 0
+        while completed_count != graph_size:
+            iterations += 1
+            if iterations > max_iterations:
+                raise SimulationError(
+                    f"simulation of {name!r} exceeded {max_iterations} "
+                    "iterations; the scheduler is not making progress"
+                )
+
+            # _sync_mtl, validating only on change: the gate's limit is
+            # always in range, so an unchanged (== limit) answer needs
+            # no bounds check.
+            if not static_mtl:
+                mtl = current_mtl()
+                if mtl != gate.limit:
+                    if not 1 <= mtl <= context_count:
+                        raise ConfigurationError(
+                            f"policy {policy_name!r} requested MTL {mtl}, "
+                            f"outside [1, {context_count}]"
+                        )
+                    mtl_changes.append(
+                        MtlChange(
+                            time=now, old_mtl=gate.limit, new_mtl=mtl,
+                            reason=policy_name,
+                        )
+                    )
+                    gate.set_limit(mtl)
+
+            # -- dispatch ---------------------------------------------
+            if idle and has_ready():
+                if blocks is None:
+                    # Task availability is context-independent (the
+                    # affinity scan only reorders a non-empty compute
+                    # queue) and the gate only saturates further during
+                    # a scan, so once one idle position comes up empty
+                    # every later one must too: successful dispatches
+                    # form a strict prefix of the idle list.
+                    taken = 0
+                    for position in idle:
+                        context_id = context_ids[position]
+                        if memory_first:
+                            task = dispatch_memory(gate, context_id)
+                            if task is None:
+                                task = pop_compute(context_id)
+                        else:
+                            task = pop_compute(context_id)
+                            if task is None:
+                                task = dispatch_memory(gate, context_id)
+                        if task is None:
+                            break
+                        if zero_noise:
+                            rt = RunningTask(
+                                task, context_id, core_ids[position], now,
+                                task.work_units, 0.0, gate.limit,
+                                probing() if probing is not None else False,
+                            )
+                        else:
+                            rt = RunningTask(
+                                task, context_id, core_ids[position], now,
+                                task.work_units * duration_factor(),
+                                dispatch_overhead(), gate.limit,
+                                probing() if probing is not None else False,
+                            )
+                        running[context_id] = rt
+                        population.append(rt)
+                        if rt.overhead_remaining > 0.0:
+                            signatures.append(rt._sig_overhead)
+                            cohort_key = rt._cohort_overhead
+                        else:
+                            signatures.append(rt._sig_work)
+                            cohort_key = rt._cohort_work
+                        members = cohort_map.get(cohort_key)
+                        if members is None:
+                            cohort_map[cohort_key] = [rt]
+                        else:
+                            members.append(rt)
+                        taken += 1
+                        if on_dispatch is not None:
+                            on_dispatch(task, context_id, now)
+                        if not has_ready():
+                            break
+                    if taken:
+                        del idle[:taken]
+                else:
+                    # A blacklist plugin can veto individual contexts,
+                    # so dispatches are no longer a prefix — and the
+                    # veto hook must see the same per-context call
+                    # sequence the reference loop makes.
+                    taken_set = None
+                    for position in idle:
+                        context = contexts[position]
+                        context_id = context.context_id
+                        if memory_first:
+                            task = try_memory(
+                                queue, gate, context_id, now, blocks
+                            )
+                            if task is None:
+                                task = pop_compute(context_id)
+                        else:
+                            task = pop_compute(context_id)
+                            if task is None:
+                                task = try_memory(
+                                    queue, gate, context_id, now, blocks
+                                )
+                        if task is None:
+                            continue
+                        rt = RunningTask(
+                            task, context_id, context.core_id, now,
+                            task.work_units * duration_factor(),
+                            dispatch_overhead(), gate.limit,
+                            probing() if probing is not None else False,
+                        )
+                        running[context_id] = rt
+                        population.append(rt)
+                        if rt.overhead_remaining > 0.0:
+                            signatures.append(rt._sig_overhead)
+                            cohort_key = rt._cohort_overhead
+                        else:
+                            signatures.append(rt._sig_work)
+                            cohort_key = rt._cohort_work
+                        members = cohort_map.get(cohort_key)
+                        if members is None:
+                            cohort_map[cohort_key] = [rt]
+                        else:
+                            members.append(rt)
+                        if taken_set is None:
+                            taken_set = {position}
+                        else:
+                            taken_set.add(position)
+                        if on_dispatch is not None:
+                            on_dispatch(task, context_id, now)
+                        if not has_ready():
+                            break
+                    if taken_set is not None:
+                        idle[:] = [p for p in idle if p not in taken_set]
+
+            if not running:
+                raise self._no_progress(graph, queue)
+
+            # -- advance ----------------------------------------------
+            snapshot = snapshot_keyed(tuple(signatures), population)
+            speeds = snapshot.speeds
+            cpu_rates = snapshot.cpu_rates
+
+            finished_indices = None
+            if len(cohort_map) == len(population):
+                # Every cohort is a singleton: step per task.
+                dt = inf
+                for rt in population:
+                    if rt.overhead_remaining > 0.0:
+                        step = rt.overhead_remaining / cpu_rates[rt.context_id]
+                    else:
+                        speed = speeds[rt.context_id]
+                        if speed <= 0:
+                            raise SimulationError(
+                                f"task {rt.task.task_id!r} has "
+                                "non-positive speed"
+                            )
+                        step = rt.remaining_units / speed
+                    if step < dt:
+                        dt = step
+                if not isfinite(dt) or dt < 0:
+                    raise SimulationError(f"invalid time step {dt!r}")
+                now += dt
+                for index, rt in enumerate(population):
+                    if rt.overhead_remaining > 0.0:
+                        value = rt.overhead_remaining - dt * cpu_rates[
+                            rt.context_id
+                        ]
+                        if value <= eps * (value if value > 1.0 else 1.0):
+                            # Overhead drained: flip into the work
+                            # cohort (safe inline — this branch
+                            # iterates the population, not the map).
+                            rt.overhead_remaining = 0.0
+                            signatures[index] = rt._sig_work
+                            cohort_key = rt._cohort_overhead
+                            members = cohort_map[cohort_key]
+                            if len(members) == 1:
+                                del cohort_map[cohort_key]
+                            else:
+                                members.remove(rt)
+                            work_key = rt._cohort_work
+                            members = cohort_map.get(work_key)
+                            if members is None:
+                                cohort_map[work_key] = [rt]
+                            else:
+                                members.append(rt)
+                        else:
+                            rt.overhead_remaining = value
+                    else:
+                        value = rt.remaining_units - dt * speeds[rt.context_id]
+                        rt.remaining_units = value
+                        if value <= rt.completion_threshold:
+                            if finished_indices is None:
+                                finished_indices = [index]
+                            else:
+                                finished_indices.append(index)
+            else:
+                # One step per cohort.
+                dt = inf
+                for cohort_key, members in cohort_map.items():
+                    lo = inf
+                    if cohort_key[1]:  # overhead cohort: pure CPU phase
+                        for rt in members:
+                            value = rt.overhead_remaining
+                            if value < lo:
+                                lo = value
+                        scale = cpu_rates[members[0].context_id]
+                    else:
+                        scale = speeds[members[0].context_id]
+                        if scale <= 0:
+                            self._raise_nonpositive_speed(population, speeds)
+                        for rt in members:
+                            value = rt.remaining_units
+                            if value < lo:
+                                lo = value
+                    step = lo / scale
+                    if step < dt:
+                        dt = step
+                if not isfinite(dt) or dt < 0:
+                    raise SimulationError(f"invalid time step {dt!r}")
+
+                now += dt
+                finished = None
+                flipped = None
+                for cohort_key, members in cohort_map.items():
+                    if cohort_key[1]:
+                        # dt * rate computed once: every member
+                        # subtracts the identical product the per-task
+                        # loop would.
+                        delta = dt * cpu_rates[members[0].context_id]
+                        for rt in members:
+                            value = rt.overhead_remaining - delta
+                            rt.overhead_remaining = value
+                            if value <= eps * (value if value > 1.0 else 1.0):
+                                rt.overhead_remaining = 0.0
+                                if flipped is None:
+                                    flipped = [rt]
+                                else:
+                                    flipped.append(rt)
+                    else:
+                        delta = dt * speeds[members[0].context_id]
+                        for rt in members:
+                            value = rt.remaining_units - delta
+                            rt.remaining_units = value
+                            if value <= rt.completion_threshold:
+                                if finished is None:
+                                    finished = [rt]
+                                else:
+                                    finished.append(rt)
+
+                # Structural mutations only after the map iteration: a
+                # phase flip moves the task into its work cohort.
+                if flipped is not None:
+                    for rt in flipped:
+                        cohorts.flip_to_work(rt)
+                if finished is not None:
+                    # Completions must be processed in population order
+                    # — record order, dependent-release order, and
+                    # policy hooks all observe it — not cohort order.
+                    if len(finished) > 1:
+                        order = {id(rt) for rt in finished}
+                        finished_indices = [
+                            index
+                            for index, rt in enumerate(population)
+                            if id(rt) in order
+                        ]
+                    else:
+                        finished_indices = [population.index(finished[0])]
+
+            if finished_indices is not None:
+                completed_count += len(finished_indices)
+                for index in finished_indices:
+                    rt = population[index]
+                    del running[rt.context_id]
+                    insort(idle, positions[rt.context_id])
+                    task = rt.task
+                    if task.is_memory:
+                        release()
+                    # Fast TaskRecord construction: allocate raw and
+                    # fill the instance dict wholesale, skipping the
+                    # frozen dataclass's guarded per-field
+                    # object.__setattr__ calls.  Field-for-field
+                    # identical to the generated __init__, and its
+                    # ``end < start`` validation cannot fire here —
+                    # ``dt >= 0`` is enforced every event, so ``now``
+                    # never drops below any running task's start.
+                    record = _RECORD_NEW(TaskRecord)
+                    record.__dict__.update({
+                        "task_id": task.task_id,
+                        "kind": task.kind,
+                        "context_id": rt.context_id,
+                        "core_id": rt.core_id,
+                        "start": rt.start,
+                        "end": now,
+                        "mtl_at_dispatch": rt.mtl_at_dispatch,
+                        "phase_index": task.phase_index,
+                        "pair_index": task.pair_index,
+                        "probe": rt.probe,
+                    })
+                    records_append(record)
+                    mark_complete(task)
+                    if on_complete is not None:
+                        on_complete(record, now)
+                # Structural removal, descending so indices stay valid.
+                for index in reversed(finished_indices):
+                    rt = population[index]
+                    del population[index]
+                    del signatures[index]
+                    cohort_key = rt._cohort_work
+                    members = cohort_map[cohort_key]
+                    if len(members) == 1:
+                        del cohort_map[cohort_key]
+                    else:
+                        members.remove(rt)
+
+    @staticmethod
+    def _raise_nonpositive_speed(population, speeds) -> None:
+        """Raise the reference loop's error for the first offending
+        task in population order (cohort iteration order differs)."""
+        for rt in population:
+            if rt.overhead_remaining <= 0.0 and speeds[rt.context_id] <= 0:
+                raise SimulationError(
+                    f"task {rt.task.task_id!r} has non-positive speed"
+                )
+        raise SimulationError(
+            "non-positive cohort speed with no offending task"
+        )  # pragma: no cover - cohorts mirror the population exactly
+
+    # -- the per-task reference loop -----------------------------------
+
+    def _run_reference(
+        self, graph, queue, policy, name, gate, contexts, records,
+        mtl_changes, on_dispatch, blocks,
+    ) -> None:
+        """The seed's per-task event loop, byte-for-byte semantics.
+
+        The oracle the cohort-batched loop is tested against; see the
+        module docstring.
+        """
+        running: Dict[int, RunningTask] = {}
+        now = 0.0
         max_iterations = 10 * len(graph) + 1000
         iterations = 0
         while not queue.exhausted():
@@ -145,35 +654,9 @@ class Simulator:
             )
 
             if not running:
-                if queue.has_ready_work():
-                    raise SimulationError(
-                        "no task running yet ready work exists; the MTL gate "
-                        "is wedged (this is a scheduler bug)"
-                    )
-                raise SimulationError(
-                    f"deadlock: {len(graph) - queue.completed_count} tasks "
-                    "can never become ready"
-                )
+                raise self._no_progress(graph, queue)
 
             now = self._advance(queue, gate, policy, running, records, now)
-
-        return SimulationResult(
-            program_name=name,
-            machine_name=self.machine.name,
-            policy_name=policy.name,
-            context_count=self.machine.context_count,
-            records=tuple(records),
-            mtl_changes=tuple(mtl_changes),
-        )
-
-    def _validated_mtl(self, policy: SchedulingPolicy) -> int:
-        mtl = policy.current_mtl()
-        if not 1 <= mtl <= self._context_count:
-            raise ConfigurationError(
-                f"policy {policy.name!r} requested MTL {mtl}, outside "
-                f"[1, {self._context_count}]"
-            )
-        return mtl
 
     def _sync_mtl(
         self,
@@ -242,24 +725,6 @@ class Simulator:
         if task is not None:
             return task
         return self._try_memory(queue, gate, context_id, now, blocks)
-
-    def _try_memory(
-        self, queue: WorkQueue, gate: MtlGate, context_id: int, now: float,
-        blocks=None,
-    ) -> Optional[Task]:
-        """Dispatch a memory task if one is ready, the policy does not
-        veto this context (blacklist plugins), and the gate grants."""
-        if queue.pending_memory > 0:
-            if blocks is not None and blocks(context_id, now):
-                return None
-            if gate.try_acquire():
-                task = queue.pop_memory()
-                if task is None:  # pragma: no cover - guarded by pending_memory
-                    gate.release()
-                    return None
-                queue.note_memory_ran_on(task, context_id)
-                return task
-        return None
 
     def _advance(
         self,

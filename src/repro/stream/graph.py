@@ -57,6 +57,15 @@ class TaskGraph:
             tid: [self._tasks[t] for t in ids]
             for tid, ids in self._dependents.items()
         }
+        # Work-queue seeds, cached for the same reason: every run
+        # builds a fresh queue over this graph, and both of these are
+        # pure functions of it.
+        self._initial_dep_counts: Dict[str, int] = {
+            tid: len(task.depends_on) for tid, task in self._tasks.items()
+        }
+        self._roots: List[Task] = [
+            task for task in self._order if not task.depends_on
+        ]
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -95,6 +104,18 @@ class TaskGraph:
             if all(dep in completed for dep in task.depends_on):
                 ready.append(task)
         return ready
+
+    def initial_dependency_counts(self) -> Dict[str, int]:
+        """Fresh ``task_id -> len(depends_on)`` map (a new dict each
+        call; work queues decrement their copy as tasks complete)."""
+        return dict(self._initial_dep_counts)
+
+    def root_tasks(self) -> List[Task]:
+        """Dependency-free tasks in topological (enqueue) order.
+
+        The returned list is shared — callers must not mutate it.
+        """
+        return self._roots
 
     def topological_order(self) -> List[Task]:
         """Tasks in an order consistent with all dependencies."""

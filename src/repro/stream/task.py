@@ -65,10 +65,23 @@ class Task:
     depends_on: Tuple[str, ...] = field(default=())
     # Derived, write-once in __post_init__ (see there); declared as
     # non-init fields so the attributes are typed without entering
-    # __init__, equality, or repr.
-    _is_memory: bool = field(init=False, repr=False, compare=False)
-    _work_units: float = field(init=False, repr=False, compare=False)
-    _demand: MemoryDemand = field(init=False, repr=False, compare=False)
+    # __init__, equality, or repr.  Deliberately plain attributes, not
+    # properties: the simulator reads them at dispatch and completion
+    # rate, and a property's descriptor call is measurable there.
+    #: Whether this is a memory (gather/scatter) task; the MTL gate
+    #: applies only to these.
+    is_memory: bool = field(init=False, repr=False, compare=False)
+    #: Total abstract work units the simulator must retire.  A task is
+    #: a pipeline of unit-sized steps; each step costs
+    #: ``cpu_seconds / work_units`` CPU time plus
+    #: ``memory_requests / work_units`` off-chip requests at the
+    #: prevailing latency.  The ``max`` in ``__post_init__`` keeps the
+    #: unit granularity fine enough for both demand kinds.
+    work_units: float = field(init=False, repr=False, compare=False)
+    #: Per-work-unit resource demand — one shared (frozen) instance
+    #: per task, so dispatching the same task repeatedly never
+    #: rebuilds it.  :meth:`demand` returns this.
+    unit_demand: MemoryDemand = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.task_id:
@@ -94,11 +107,11 @@ class Task:
         # (attached behind the frozen dataclass's back; excluded from
         # equality and repr, consistent values under pickling).
         units = max(self.cpu_seconds * 1e9, self.memory_requests, 1.0)
-        object.__setattr__(self, "_is_memory", self.kind is TaskKind.MEMORY)
-        object.__setattr__(self, "_work_units", units)
+        object.__setattr__(self, "is_memory", self.kind is TaskKind.MEMORY)
+        object.__setattr__(self, "work_units", units)
         object.__setattr__(
             self,
-            "_demand",
+            "unit_demand",
             MemoryDemand(
                 cpu_seconds_per_unit=self.cpu_seconds / units,
                 requests_per_unit=self.memory_requests / units,
@@ -106,32 +119,16 @@ class Task:
         )
 
     @property
-    def is_memory(self) -> bool:
-        return self._is_memory
-
-    @property
     def is_compute(self) -> bool:
-        return not self._is_memory
-
-    @property
-    def work_units(self) -> float:
-        """Total abstract work units the simulator must retire.
-
-        A task is a pipeline of unit-sized steps; each step costs
-        ``cpu_seconds / work_units`` CPU time plus
-        ``memory_requests / work_units`` off-chip requests at the
-        prevailing latency.  Using ``max`` keeps the unit granularity
-        fine enough for both demand kinds.
-        """
-        return self._work_units
+        return not self.is_memory
 
     def demand(self) -> MemoryDemand:
         """Per-work-unit resource demand for the equilibrium solver.
 
-        Returns one shared (frozen) instance per task, so dispatching
-        the same task repeatedly never rebuilds it.
-        """
-        return self._demand
+        Returns :attr:`unit_demand`, one shared (frozen) instance per
+        task, so dispatching the same task repeatedly never rebuilds
+        it."""
+        return self.unit_demand
 
     def duration_at_latency(self, request_latency: float) -> float:
         """Wall-clock duration if the request latency stayed constant.

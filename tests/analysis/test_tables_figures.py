@@ -13,10 +13,10 @@ from repro.errors import MeasurementError
 from repro.runtime.experiment import ComparisonResult, PolicyOutcome
 
 
-def comparison(name="wl", speedup=1.1, mtl=2):
+def comparison(name="wl", speedup=1.1, mtl=2, stats=None):
     outcome = PolicyOutcome(
         policy_name="dyn", makespan=1.0, speedup=speedup,
-        selected_mtl=mtl, probe_fraction=0.01,
+        selected_mtl=mtl, probe_fraction=0.01, stats=stats,
     )
     return ComparisonResult(
         program_name=name, machine_name="i7-860/1ch",
@@ -81,6 +81,20 @@ class TestReportFormatting:
         assert "wl" in text
         assert "dyn" in text
         assert "1.100x" in text
+
+    def test_stats_off_by_default_and_on_request(self):
+        with_stats = comparison(
+            stats=(("windows_closed", 3.0), ("probes", 12.0))
+        )
+        assert "policy stats" not in format_comparison(with_stats)
+        text = format_comparison(with_stats, include_stats=True)
+        assert "policy stats (instrumented run):" in text
+        assert "dyn: windows_closed=3 probes=12" in text
+
+    def test_stats_block_omitted_when_no_policy_has_counters(self):
+        # stats=None (static policies) must not leave an empty block.
+        text = format_comparison(comparison(), include_stats=True)
+        assert "policy stats" not in text
 
     def test_grid_one_row_per_workload(self):
         text = format_comparison_grid(

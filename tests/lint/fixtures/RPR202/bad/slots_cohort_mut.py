@@ -1,0 +1,17 @@
+"""Known-bad: cohort-key slot reassigned after construction."""
+__all__ = []
+
+
+class Running:
+    __slots__ = ("remaining", "_sig_work", "_cohort_work")
+
+    def __init__(self, core_id, demand):
+        self.remaining = 1.0
+        self._sig_work = (0, core_id, demand)
+        self._cohort_work = (core_id, demand)
+
+    def migrate(self, core_id):
+        # Moving cores must mean removing from the cohort table and
+        # constructing a fresh task; rekeying in place strands the
+        # entry under its old cohort.
+        self._cohort_work = (core_id, self._cohort_work[1])

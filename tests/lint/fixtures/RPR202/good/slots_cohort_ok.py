@@ -1,0 +1,17 @@
+"""Known-good: cohort-key slots are write-once at construction."""
+__all__ = []
+
+
+class Running:
+    __slots__ = ("remaining", "_sig_work", "_cohort_work")
+
+    def __init__(self, core_id, demand):
+        self.remaining = 1.0
+        self._sig_work = (0, core_id, demand)
+        self._cohort_work = (core_id, demand)
+
+    def advance(self, units):
+        self.remaining -= units
+
+    def cohort_key(self):
+        return self._cohort_work

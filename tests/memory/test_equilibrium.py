@@ -158,6 +158,17 @@ class TestFastPath:
         slow = effective_concurrency(demands, linear_latency, fast_path=False)
         assert fast == slow
 
+    def test_denormal_demand_matches_iterative(self):
+        # Regression: ``requests_per_unit`` so small that ``m * L``
+        # underflows to 0.0 makes the iteration see w_i = 0, so the
+        # "every w_i is 1" closed form does not apply; the fast path
+        # must detect the underflow and fall through (found by the
+        # property test above at ``5e-324``).
+        demands = [MemoryDemand(0.0, 5e-324), pure_memory()]
+        fast = effective_concurrency(demands, linear_latency)
+        slow = effective_concurrency(demands, linear_latency, fast_path=False)
+        assert fast == slow
+
     def test_fast_path_still_validates_latency(self):
         # The closed form must preserve the iterative path's error
         # behaviour: a non-positive latency raises even when the answer
@@ -226,3 +237,65 @@ class TestEquilibriumSolver:
     def test_rejects_non_positive_max_entries(self):
         with pytest.raises(ModelError):
             EquilibriumSolver(linear_latency, max_entries=0)
+
+
+class TestWarmStart:
+    """Warm-started solves: exact canonical-projection reuse."""
+
+    def population(self, cpu: float):
+        """Mixed population: fixed memory half, variable pure-CPU half.
+
+        Every ``cpu`` value yields a distinct full memo key; the
+        memory-demand projection — all that the fixed point depends
+        on — is identical across them.
+        """
+        return [
+            pure_memory(),
+            MemoryDemand(cpu_seconds_per_unit=30e-9, requests_per_unit=0.5),
+            MemoryDemand(cpu_seconds_per_unit=cpu, requests_per_unit=0.0),
+        ]
+
+    def test_warm_solve_is_float_for_float_identical_to_cold(self):
+        warm_solver = EquilibriumSolver(linear_latency)
+        warm_solver.solve(self.population(1e-9))  # cold; fills canonical
+        warmed = warm_solver.solve(self.population(2e-9))  # warm start
+
+        cold_solver = EquilibriumSolver(linear_latency)
+        cold = cold_solver.solve(self.population(2e-9))
+
+        # Bit-identity, not approx: a warm hit is a zero-distance
+        # reuse, the only distance at which reuse cannot perturb the
+        # engine's golden artifacts.
+        assert warmed == cold
+        assert warm_solver.warm_hits == 1
+        assert cold_solver.warm_hits == 0
+
+    def test_counters_and_cache_info(self):
+        solver = EquilibriumSolver(linear_latency)
+        stream = [self.population(cpu * 1e-9) for cpu in (1, 2, 3, 4)]
+        for demands in stream:
+            solver.solve(demands)
+        info = solver.cache_info()
+        assert info["misses"] == 4
+        assert info["cold_solves"] == 1
+        assert info["warm_hits"] == 3
+        assert info["warm_entries"] == 1
+        assert info["entries"] == 4
+        # Each canonical entry remembers its cold solve's iteration
+        # count; three warm hits saved exactly three times that.
+        assert info["iterations_saved"] % 3 == 0
+        assert info["iterations_saved"] > 0
+        # Re-solving a seen population is a plain memo hit, never a
+        # second warm start.
+        solver.solve(stream[0])
+        assert solver.cache_info()["warm_hits"] == 3
+        assert solver.cache_info()["hits"] == 1
+
+    def test_different_memory_projection_solves_cold(self):
+        solver = EquilibriumSolver(linear_latency)
+        solver.solve(self.population(1e-9))
+        solver.solve([pure_memory(), pure_memory()])  # different projection
+        info = solver.cache_info()
+        assert info["cold_solves"] == 2
+        assert info["warm_hits"] == 0
+        assert info["warm_entries"] == 2

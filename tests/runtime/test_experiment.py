@@ -41,6 +41,21 @@ class TestComparePolicies:
         )
         assert result.outcome("dynamic").selected_mtl == 1
 
+    def test_plugin_stats_ride_on_the_outcome(self):
+        result = compare_policies(
+            synthetic(0.25),
+            {
+                "dynamic": lambda: DynamicThrottlingPolicy(context_count=4),
+                "static-1": lambda: FixedMtlPolicy(1),
+            },
+        )
+        stats = dict(result.outcome("dynamic").stats)
+        assert stats["windows_closed"] >= 1.0
+        # Every plugin carries the base counters; a static policy's
+        # simply never move.
+        static_stats = dict(result.outcome("static-1").stats)
+        assert static_stats["windows_closed"] == 0.0
+
     def test_unknown_policy_lookup_raises(self):
         result = compare_policies(
             synthetic(0.25), {"static-1": lambda: FixedMtlPolicy(1)}

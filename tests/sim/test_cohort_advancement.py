@@ -1,0 +1,185 @@
+"""Equivalence tests for the cohort-batched event loop.
+
+The simulator's default loop groups same-rate tasks into cohorts and
+advances them in bulk (``cohort_batching=True``); the seed's per-task
+loop survives as the reference (``cohort_batching=False``).  The
+optimization's contract is *bit-identity*: every record field, every
+MTL change, float for float, on every workload/policy/noise/dispatch
+combination — these tests pin it.  SMT machines matter here: on the
+plain i7-860 every context owns a core, so every cohort is a
+singleton and the loop takes its per-task fast path; with SMT the
+sibling contexts of a core genuinely share cohorts and the bulk
+advancement path runs.
+"""
+
+import pytest
+
+from repro.core.budget import ActivationBudgetPolicy
+from repro.core.policies import OnlineExhaustivePolicy
+from repro.core.throttle import DynamicThrottlingPolicy
+from repro.memory.contention import nehalem_ddr3_contention
+from repro.memory.system import MemorySystem
+from repro.sim.cores import Processor
+from repro.sim.engine import CohortTable, RateCalculator
+from repro.sim.machine import i7_860
+from repro.sim.noise import noise_for_seed
+from repro.sim.scheduler import FixedMtlPolicy
+from repro.sim.simulator import Simulator
+from repro.sim.engine import RunningTask
+from repro.stream.program import StreamProgram, build_phase
+from repro.stream.task import compute_task, memory_task
+from repro.workloads.base import REFERENCE_SOLO_LATENCY
+
+
+def run_memory(context_id, core_id, requests=1000):
+    task = memory_task(f"m{context_id}", requests=requests)
+    return RunningTask(
+        task=task, context_id=context_id, core_id=core_id, start=0.0,
+        remaining_units=task.work_units, overhead_remaining=0.0,
+        mtl_at_dispatch=4,
+    )
+
+
+def run_compute(context_id, core_id, cpu_seconds=1e-3):
+    task = compute_task(f"c{context_id}", cpu_seconds=cpu_seconds)
+    return RunningTask(
+        task=task, context_id=context_id, core_id=core_id, start=0.0,
+        remaining_units=task.work_units, overhead_remaining=0.0,
+        mtl_at_dispatch=4,
+    )
+
+
+def synthetic(ratio: float, pairs: int = 12) -> StreamProgram:
+    t_m1 = 4096 * REFERENCE_SOLO_LATENCY
+    return StreamProgram(
+        f"synthetic-{ratio}",
+        [build_phase("p", 0, pairs, 4096, t_m1 / ratio)],
+    )
+
+
+def two_phase(pairs: int = 8) -> StreamProgram:
+    """Mixed ratios across phases: cohorts form, drain, and re-form."""
+    t_m1 = 4096 * REFERENCE_SOLO_LATENCY
+    return StreamProgram(
+        "two-phase",
+        [
+            build_phase("memory-bound", 0, pairs, 4096, t_m1 / 3.0),
+            build_phase("compute-bound", 1, pairs, 4096, t_m1 / 0.25),
+        ],
+    )
+
+
+POLICIES = {
+    "static-2": lambda n: FixedMtlPolicy(2),
+    "dynamic": lambda n: DynamicThrottlingPolicy(
+        context_count=n, window_pairs=4
+    ),
+    "online": lambda n: OnlineExhaustivePolicy(context_count=n, window_pairs=4),
+    # blocks_context veto: forces the batched loop off its fused
+    # memory-dispatch fast path onto the plugin-visible sequence.
+    "activation-budget": lambda n: ActivationBudgetPolicy(
+        context_count=n, window_pairs=4, budget=1
+    ),
+}
+
+
+def run_both(machine_factory, program, policy_name, seed, preference):
+    results = []
+    for batching in (True, False):
+        machine = machine_factory()
+        simulator = Simulator(
+            machine,
+            noise=noise_for_seed(seed) if seed is not None else None,
+            dispatch_preference=preference,
+            cohort_batching=batching,
+        )
+        policy = POLICIES[policy_name](machine.context_count)
+        results.append(simulator.run(program, policy))
+    return results
+
+
+def assert_bit_identical(batched, reference):
+    assert len(batched.records) == len(reference.records)
+    for ours, theirs in zip(batched.records, reference.records):
+        assert ours == theirs  # frozen dataclasses: every field, exact
+    assert batched.mtl_changes == reference.mtl_changes
+    assert batched.makespan == reference.makespan
+
+
+class TestBatchedMatchesReference:
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    @pytest.mark.parametrize("seed", [None, 7])
+    @pytest.mark.parametrize("ratio", [0.25, 1.0, 3.0])
+    def test_synthetic_singleton_cohorts(self, policy_name, seed, ratio):
+        batched, reference = run_both(
+            i7_860, synthetic(ratio), policy_name, seed, "compute-first"
+        )
+        assert_bit_identical(batched, reference)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    @pytest.mark.parametrize("seed", [None, 7])
+    def test_smt_shared_cohorts(self, policy_name, seed):
+        batched, reference = run_both(
+            lambda: i7_860(smt=2), two_phase(), policy_name, seed,
+            "compute-first",
+        )
+        assert_bit_identical(batched, reference)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    @pytest.mark.parametrize("preference", ["compute-first", "memory-first"])
+    def test_dispatch_preference_order(self, policy_name, preference):
+        batched, reference = run_both(
+            i7_860, two_phase(), policy_name, 11, preference
+        )
+        assert_bit_identical(batched, reference)
+
+    def test_multi_channel_smt_noisy(self):
+        batched, reference = run_both(
+            lambda: i7_860(channels=2, smt=2), synthetic(1.0), "dynamic",
+            23, "memory-first",
+        )
+        assert_bit_identical(batched, reference)
+
+
+class TestCohortSpeedInvariant:
+    """The property batching rests on: cohort-mates share one rate."""
+
+    def make_calculator(self, smt=2):
+        return RateCalculator(
+            Processor(core_count=4, smt_ways=smt),
+            MemorySystem(contention=nehalem_ddr3_contention()),
+        )
+
+    @pytest.mark.parametrize("population_builder", [
+        # SMT siblings (contexts 0,1 on core 0) running equal work.
+        lambda: [run_memory(0, 0), run_memory(1, 0), run_compute(2, 1)],
+        lambda: [run_compute(0, 0), run_compute(1, 0), run_memory(2, 1)],
+        lambda: [
+            run_memory(0, 0), run_memory(1, 0),
+            run_compute(2, 1), run_compute(3, 1),
+            run_memory(4, 2),
+        ],
+    ])
+    def test_cohort_members_have_bitwise_equal_speeds(
+        self, population_builder
+    ):
+        population = population_builder()
+        table = CohortTable()
+        for rt in population:
+            table.add(rt)
+        calculator = self.make_calculator()
+        snapshot = calculator.snapshot(population)
+        for members in table.cohorts.values():
+            speeds = {snapshot.speeds[rt.context_id] for rt in members}
+            cpu_rates = {snapshot.cpu_rates[rt.context_id] for rt in members}
+            assert len(speeds) == 1  # bitwise: set of floats collapses
+            assert len(cpu_rates) == 1
+
+    def test_cohorts_group_only_same_core_same_signature(self):
+        # Same demand on different cores must NOT share a cohort: SMT
+        # sharing makes the rate a per-core quantity.
+        population = [run_memory(0, 0), run_memory(2, 1)]
+        table = CohortTable()
+        for rt in population:
+            table.add(rt)
+        assert len(table.cohorts) == 2
