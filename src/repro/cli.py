@@ -17,10 +17,14 @@ without writing Python:
   ``BENCH_sim.json`` (see ``docs/performance.md``);
 * ``lint`` — AST-based static invariant checks (determinism,
   memo-safety, telemetry-schema integrity, plus the call-graph-based
-  transitive-determinism, pool-safety, and dimensional-consistency
+  transitive-determinism, pool-safety, dimensional-consistency,
+  plugin-contract, mutation-after-freeze, and exception-flow
   families; see ``docs/static_analysis.md``).  ``--jobs N`` fans the
-  per-file pass over worker processes with identical output; exit
-  code 1 on findings, 2 on usage/configuration errors.
+  per-file pass over worker processes with identical output;
+  ``--cache-dir DIR`` makes warm runs skip unchanged files;
+  ``--format sarif`` renders SARIF 2.1.0; ``--explain RPR###`` prints
+  one rule's documentation; exit code 1 on findings, 2 on
+  usage/configuration errors.
 
 Workloads are named as in the paper (``dft``, ``SC_d128``, ``SIFT``)
 or loaded from a JSON spec via ``--spec`` (see
@@ -212,16 +216,22 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rule", action="append", dest="rules",
                       metavar="RPR###",
                       help="run only this rule (repeatable)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      dest="fmt", help="report format (default: text)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
+                      dest="fmt", help="report format (default: text; "
+                           "sarif is SARIF 2.1.0 for code-scanning UIs)")
     lint.add_argument("--output", default=None, metavar="PATH",
                       help="also write the report to PATH ('-' prints the "
                            "JSON report to stdout; the CI job uploads the "
-                           "JSON report as an artifact)")
+                           "JSON and SARIF reports as artifacts)")
     lint.add_argument("--jobs", type=int, default=1,
                       help="worker processes for the per-file pass "
                            "(1 = in-process; findings are identical and "
                            "identically ordered either way)")
+    lint.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="content-hash scan cache: warm runs skip files "
+                           "whose bytes (and the rule set) are unchanged, "
+                           "with byte-identical output")
     lint.add_argument("--graph-output", default=None, metavar="PATH",
                       help="serialize the project call graph to PATH as "
                            "JSON (the CI job uploads it as an artifact)")
@@ -233,6 +243,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            "instead of failing on them")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--explain", default=None, metavar="RPR###",
+                      help="print one rule's catalogue entry and its "
+                           "docs/static_analysis.md section, then exit")
 
     perfbench = sub.add_parser(
         "perfbench",
@@ -532,8 +545,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintEngine,
         build_rules,
+        explain_rule,
         load_baseline,
         render_json,
+        render_sarif,
         render_text,
         rule_catalogue,
     )
@@ -546,6 +561,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 f"{row['id']}  [{row['severity']}{autofix}] "
                 f"({row['family']}) {row['title']}"
             )
+        return 0
+    if args.explain:
+        print(explain_rule(args.explain), end="")
         return 0
     paths = args.paths or ["src", "tests"]
     missing = [p for p in paths if not Path(p).exists()]
@@ -566,6 +584,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline=baseline,
         jobs=args.jobs,
         want_graph=bool(args.graph_output),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
     )
     report = engine.run([Path(p) for p in paths])
     if args.graph_output and engine.graph is not None:
@@ -582,7 +601,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         # into jq and friends), regardless of --format.
         print(render_json(report), end="")
         return 1 if report.findings else 0
-    rendered = render_json(report) if args.fmt == "json" else render_text(report)
+    renderers = {"json": render_json, "sarif": render_sarif}
+    rendered = renderers.get(args.fmt, render_text)(report)
     print(rendered, end="" if rendered.endswith("\n") else "\n")
     if args.output:
         with open(args.output, "w") as handle:

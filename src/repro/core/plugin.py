@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # simulator types are annotation-only at this layer
     from repro.stream.task import Task
 
 __all__ = [
+    "POLICY_HOOKS",
     "PolicyEntry",
     "PolicyParam",
     "PolicyStats",
@@ -51,6 +52,24 @@ __all__ = [
     "register_policy",
     "registered_policies",
 ]
+
+#: The machine-readable hook contract: every method through which the
+#: simulator (or the policy's own machinery) drives a policy during a
+#: run.  Hooks *observe* — they may mutate the policy instance, but
+#: never the simulator-owned arguments they receive, may not retain
+#: references to those arguments, and may not write module globals.
+#: The lint plugin-contract family (RPR901–RPR903) discovers this
+#: tuple the same way pool-safety discovers ``POOL_BOUNDARY`` and
+#: enforces that contract over every registered policy class.
+POLICY_HOOKS: Tuple[str, ...] = (
+    "setup",
+    "on_task_dispatch",
+    "on_task_complete",
+    "blocks_context",
+    "on_window_close",
+    "on_phase_change",
+    "on_selection",
+)
 
 
 def _valid_identifier(name: str) -> bool:

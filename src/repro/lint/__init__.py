@@ -18,18 +18,28 @@ Layout:
   :class:`~repro.lint.graph.builder.ProjectGraph` symbol table / call
   graph with deterministic reachability, which corpus-level rules
   query;
+* :mod:`repro.lint.effects` — per-function effect signatures
+  (mutations, captures, escaping exception types) extracted per file
+  and closed over the call graph by an SCC fixpoint; the
+  plugin-contract, mutation-after-freeze, and exception-flow families
+  consume them via ``consume_effects``;
 * :mod:`repro.lint.rules` — the rule registry.  Each rule is a class
   with a stable id (``RPR###``), a severity, and an ``autofixable``
   flag; rules are grouped into families (determinism, memo-safety,
   telemetry, executor hygiene, API hygiene, transitive determinism,
-  pool safety, dimensional consistency);
-* :mod:`repro.lint.reporters` — ``text`` and ``json`` renderers plus
-  baseline read/write.
+  pool safety, dimensional consistency, plugin-contract,
+  mutation-after-freeze, exception-flow);
+* :mod:`repro.lint.reporters` — ``text``, ``json``, and ``sarif``
+  renderers plus baseline read/write (fingerprints are
+  whitespace-normalized, so baselines survive reformatting);
+* :mod:`repro.lint.cache` — the ``--cache-dir`` content-hash scan
+  cache (warm runs skip unchanged files, byte-identically);
+* :mod:`repro.lint.explain` — ``--explain RPR###`` rendering.
 
 Run it as ``python -m repro lint [paths] [--rule RPR###] [--format
-text|json] [--baseline PATH] [--jobs N]``; the rule catalogue lives in
-``docs/static_analysis.md`` (and is parity-tested against the
-registry, so it cannot drift).
+text|json|sarif] [--baseline PATH] [--jobs N] [--cache-dir DIR]``; the
+rule catalogue lives in ``docs/static_analysis.md`` (and is
+parity-tested against the registry, so it cannot drift).
 """
 
 from repro.lint.engine import (
@@ -42,11 +52,14 @@ from repro.lint.engine import (
     iter_python_files,
     layer_for_path,
 )
+from repro.lint.explain import explain_rule
 from repro.lint.graph import ModuleSummary, ProjectGraph, extract_summary
 from repro.lint.reporters import (
     findings_to_baseline,
     load_baseline,
+    normalize_fingerprint,
     render_json,
+    render_sarif,
     render_text,
     write_baseline,
 )
@@ -75,12 +88,15 @@ __all__ = [
     "Suppressions",
     "all_rule_ids",
     "build_rules",
+    "explain_rule",
     "extract_summary",
     "findings_to_baseline",
     "iter_python_files",
     "layer_for_path",
     "load_baseline",
+    "normalize_fingerprint",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_catalogue",
     "write_baseline",

@@ -1,0 +1,41 @@
+"""Effect-signature dataflow analysis for ``repro lint``.
+
+The call graph (PR 5) answers *who calls whom*; this package answers
+*what a call does to its arguments*.  Each function is condensed — in
+the same ``--jobs``-parallel per-file pass that extracts its
+:class:`~repro.lint.graph.summary.ModuleSummary` — into a picklable
+:class:`~repro.lint.effects.model.FunctionEffects` record of its
+*local* effects: which parameters it mutates (attribute / subscript /
+augmented stores and known mutating method calls, traced through local
+aliases with one level of field sensitivity), which parameter objects
+it captures into ``self`` / closures / globals, which exception types
+it raises (with the enclosing ``try`` context of every site), and the
+calls through which effects can propagate.
+
+The single-process whole-program phase then runs
+:class:`~repro.lint.effects.fixpoint.EffectAnalysis`: a fixpoint over
+the strongly-connected components of the call graph that folds callee
+effects into caller :class:`~repro.lint.effects.model.EffectSignature`
+records.  Unknown callees degrade honestly to ``⊤`` (recorded as the
+``*_top`` flags, never as concrete facts), so every concrete entry in
+a signature is *provable* — the rules built on top report only those,
+under-approximating exactly the way the call graph itself does.
+"""
+
+from repro.lint.effects.model import (
+    TOP,
+    EffectSignature,
+    FunctionEffects,
+    ParamCapture,
+    ParamMutation,
+    RaiseSite,
+)
+
+__all__ = [
+    "TOP",
+    "EffectSignature",
+    "FunctionEffects",
+    "ParamCapture",
+    "ParamMutation",
+    "RaiseSite",
+]

@@ -12,8 +12,9 @@ module-summary extraction) is a pure function of one file, so
 discovery order, each worker returns picklable :class:`FileScan`
 records, and the parent merges them back in that same order — output
 is byte-identical to the serial run.  The whole-program phase that
-follows (corpus rules, project call graph, ``finalize``) always runs
-single-process in the parent, over the merged summaries.
+follows (corpus rules, project call graph, then the effect-signature
+fixpoint for rules that set ``needs_effects``, ``finalize``) always
+runs single-process in the parent, over the merged summaries.
 
 Two findings are emitted by the engine itself rather than by a rule
 class (they are registered as *meta rules* so ``--rule`` filtering,
@@ -139,8 +140,17 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
     def fingerprint(self) -> str:
-        """Stable identity used by ``--baseline`` filtering."""
-        return f"{self.rule}:{self.path}:{self.source_line}"
+        """Stable identity used by ``--baseline`` filtering.
+
+        Line numbers are deliberately absent and the source context is
+        whitespace-collapsed, so a fingerprint survives insertions
+        above the finding *and* reformatting around it (re-indentation,
+        wrapped arguments).  ``load_baseline`` applies the same
+        collapse to old baselines, so files written before the
+        normalization keep matching.
+        """
+        context = " ".join(self.source_line.split())
+        return f"{self.rule}:{self.path}:{context}"
 
 
 @dataclass(frozen=True)
@@ -342,6 +352,8 @@ class LintReport:
     baselined: int = 0
     wall_seconds: float = 0.0
     jobs: int = 1
+    #: Files whose per-file pass was served from ``--cache-dir``.
+    cache_hits: int = 0
 
     @property
     def errors(self) -> int:
@@ -377,6 +389,10 @@ class LintEngine:
             merged output is identical either way).
         want_graph: Build the project call graph even when no enabled
             rule asks for it (``--graph-output`` serializes it).
+        cache_dir: Directory for the content-hash scan cache (the
+            CLI's ``--cache-dir``); ``None`` disables caching.  See
+            :mod:`repro.lint.cache` — warm runs are byte-identical to
+            cold ones.
 
     After :meth:`run`, :attr:`graph` holds the
     :class:`~repro.lint.graph.builder.ProjectGraph` built for this
@@ -389,6 +405,7 @@ class LintEngine:
     baseline: Set[str] = field(default_factory=set)
     jobs: int = 1
     want_graph: bool = False
+    cache_dir: Optional[Path] = None
     graph: Optional["ProjectGraph"] = field(  # noqa: F821
         default=None, init=False, repr=False
     )
@@ -404,7 +421,9 @@ class LintEngine:
         build_graph = self.want_graph or any(r.needs_graph for r in self.rules)
         need_summary = build_graph or bool(corpus_rules)
 
-        scans = self._scan_files(files, per_file_rules, known_ids, need_summary)
+        scans, cache_hits = self._scan_files(
+            files, per_file_rules, known_ids, need_summary
+        )
 
         collected: List[Finding] = []
         suppressed = 0
@@ -426,6 +445,15 @@ class LintEngine:
         for rule in self.rules:
             if rule.needs_graph and self.graph is not None:
                 rule.consume_graph(self.graph)
+        if self.graph is not None and any(
+            getattr(r, "needs_effects", False) for r in self.rules
+        ):
+            from repro.lint.effects.fixpoint import EffectAnalysis
+
+            analysis = EffectAnalysis(self.graph, summaries)
+            for rule in self.rules:
+                if getattr(rule, "needs_effects", False):
+                    rule.consume_effects(analysis)
 
         suppression_maps = {
             scan.display_path: dict(scan.suppression_lines) for scan in scans
@@ -457,6 +485,7 @@ class LintEngine:
             baselined=baselined,
             wall_seconds=time.monotonic() - started,
             jobs=self.jobs,
+            cache_hits=cache_hits,
         )
 
     # ------------------------------------------------------------------
@@ -467,28 +496,71 @@ class LintEngine:
         rules: Sequence["Rule"],  # noqa: F821
         known_ids: Set[str],
         need_summary: bool,
-    ) -> List[FileScan]:
-        """Per-file pass, serial or fanned out; order follows ``files``."""
+    ) -> Tuple[List[FileScan], int]:
+        """Per-file pass, serial or fanned out; order follows ``files``.
+
+        With ``cache_dir`` set, files whose content hash (plus run
+        token) has a cached :class:`FileScan` skip scanning entirely;
+        only the misses go to the pool.  The merged result is
+        positionally identical to an uncached run.
+        """
         pairs = [(str(path), self._display(path)) for path in files]
-        if self.jobs == 1 or len(files) < 2:
-            return [
-                _scan_one(Path(p), display, rules, known_ids, need_summary)
-                for p, display in pairs
-            ]
-        workers = min(self.jobs, len(pairs))
-        chunk = max(1, (len(pairs) + workers * 4 - 1) // (workers * 4))
-        batches = [
-            pairs[start:start + chunk] for start in range(0, len(pairs), chunk)
+        cache = None
+        cache_keys: Dict[int, str] = {}
+        results: Dict[int, FileScan] = {}
+        if self.cache_dir is not None:
+            from repro.lint.cache import ScanCache, cache_token
+
+            cache = ScanCache(
+                Path(self.cache_dir),
+                cache_token(rules, known_ids, need_summary),
+            )
+            for index, (p, display) in enumerate(pairs):
+                try:
+                    content = Path(p).read_bytes()
+                except OSError:
+                    continue  # unreadable: let _scan_one report it
+                key = cache.key(display, content)
+                cache_keys[index] = key
+                hit = cache.load(key)
+                if hit is not None:
+                    results[index] = hit
+        pending = [
+            (index, pair)
+            for index, pair in enumerate(pairs)
+            if index not in results
         ]
-        scans: List[FileScan] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_scan_worker, batch, rules, known_ids, need_summary)
-                for batch in batches
+        if self.jobs == 1 or len(pending) < 2:
+            fresh = [
+                _scan_one(Path(p), display, rules, known_ids, need_summary)
+                for _, (p, display) in pending
             ]
-            for future in futures:  # submission order == file order
-                scans.extend(future.result())
-        return scans
+        else:
+            workers = min(self.jobs, len(pending))
+            chunk = max(
+                1, (len(pending) + workers * 4 - 1) // (workers * 4)
+            )
+            batches = [
+                [pair for _, pair in pending[start:start + chunk]]
+                for start in range(0, len(pending), chunk)
+            ]
+            fresh = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _scan_worker, batch, rules, known_ids, need_summary
+                    )
+                    for batch in batches
+                ]
+                for future in futures:  # submission order == file order
+                    fresh.extend(future.result())
+        for (index, _), scan in zip(pending, fresh):
+            results[index] = scan
+            if cache is not None and index in cache_keys:
+                cache.store(cache_keys[index], scan)
+        return [results[index] for index in range(len(pairs))], (
+            cache.hits if cache is not None else 0
+        )
 
     def _known_ids(self) -> Set[str]:
         # A suppression naming any registered rule is well-formed even

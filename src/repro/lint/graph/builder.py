@@ -164,6 +164,61 @@ class ProjectGraph:
                         keys.add(node.key)
         return sorted(keys)
 
+    def resolve_call(self, node_key: str, call: CallRef):
+        """Public call resolution for effect propagation.
+
+        Returns the target :class:`FunctionNode`, a ``(namespace,
+        ClassSummary)`` tuple for a constructor call, or ``None`` for
+        an unknown callee — exactly the contract of the internal
+        resolver the edge builder uses, so the effect fixpoint walks
+        the same graph the reachability rules do.
+        """
+        node = self._nodes.get(node_key)
+        if node is None:
+            return None
+        return self._resolve_ref(node, call)
+
+    def module_summaries(self) -> Dict[str, ModuleSummary]:
+        """Namespace -> module summary (annotation discovery)."""
+        return dict(self._modules)
+
+    def resolve_type(self, namespace: str, name: str) -> Optional[str]:
+        """Canonical name of the class ``name`` denotes in ``namespace``.
+
+        ``None`` when the reference does not resolve to a project
+        class (builtins and unknowns land here — callers decide how
+        honestly to degrade).
+        """
+        if "." in name:
+            target = self._resolve_canonical(name)
+        else:
+            target = self._resolve_local(namespace, name)
+        if isinstance(target, tuple):
+            target_namespace, cls = target
+            return f"{target_namespace}.{cls.name}"
+        return None
+
+    def class_hierarchy(self) -> Dict[str, Tuple[str, ...]]:
+        """Canonical class name -> its base names.
+
+        Bases resolve to canonical project names when possible and
+        stay literal otherwise (``"Exception"`` for builtins), so the
+        effect analysis can chain project hierarchies into the builtin
+        exception tree.
+        """
+        out: Dict[str, Tuple[str, ...]] = {}
+        for (namespace, name), cls in self._classes.items():
+            bases = []
+            for base in cls.bases:
+                resolved = self._resolve_base(namespace, base)
+                if resolved is not None:
+                    base_namespace, base_cls = resolved
+                    bases.append(f"{base_namespace}.{base_cls.name}")
+                else:
+                    bases.append(base)
+            out[f"{namespace}.{name}"] = tuple(bases)
+        return out
+
     def resolve_argument(
         self, site_node_key: str, arg: ArgRef
     ) -> Optional[FunctionNode]:

@@ -8,8 +8,9 @@ cheaply across the process-pool boundary, and the single-process graph
 phase assembles them into a project-wide symbol table afterwards.
 
 This module is deliberately a *leaf*: it imports only the standard
-library, so the engine, the rules, and the builder can all depend on
-it without cycles.
+library (plus the equally-leaf effect model in
+:mod:`repro.lint.effects.model`), so the engine, the rules, and the
+builder can all depend on it without cycles.
 
 What a summary records per function (``<module>`` stands for
 module-level statements, including class bodies):
@@ -101,13 +102,17 @@ class FunctionSummary:
 
 @dataclass(frozen=True)
 class ClassSummary:
-    """One module-level class: its bases (canonical when imported) and
-    the names of its directly defined methods."""
+    """One module-level class: its bases (canonical when imported),
+    the names of its directly defined methods, and its ``__slots__``
+    entries (``None`` when the class declares none — the
+    mutation-after-freeze rules scope memo-field protection to slotted
+    classes, exactly like RPR202)."""
 
     name: str
     lineno: int
     bases: Tuple[str, ...]
     methods: Tuple[str, ...]
+    slots: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -129,6 +134,11 @@ class ModuleSummary:
     #: ``(event_name, "emit"|"filter", lineno)`` telemetry references.
     event_sites: Tuple[Tuple[str, str, int], ...] = ()
     defines_event_schemas: bool = False
+    #: Per-function local effect records (the dataflow half of the
+    #: whole-program pass); see :mod:`repro.lint.effects`.  Extracted
+    #: in the same ``--jobs`` worker pass as everything else and keyed
+    #: by the same qualnames as :attr:`functions`.
+    effects: Tuple["FunctionEffects", ...] = ()  # noqa: F821
 
 
 def module_name_for_path(display_path: str) -> Optional[str]:
@@ -232,6 +242,28 @@ def _dotted(node: ast.AST) -> Optional[str]:
         return None
     chain.append(current.id)
     return ".".join(reversed(chain))
+
+
+def _class_slots(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    """String entries of a class's ``__slots__``, or ``None``."""
+    for statement in node.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                names: List[str] = []
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.append(element.value)
+                return tuple(names)
+    return None
 
 
 def _is_type_checking_test(node: ast.expr) -> bool:
@@ -403,6 +435,7 @@ class _Extractor:
                     lineno=node.lineno,
                     bases=bases,
                     methods=tuple(methods),
+                    slots=_class_slots(node),
                 )
             )
         for child in node.body:
@@ -573,6 +606,10 @@ def extract_summary(
     bindings = _Bindings(module, is_package)
     extractor = _Extractor(bindings)
     extractor.run(tree)
+    # Imported lazily: the extractor reuses this module's fully
+    # populated bindings, so a top-level import here would be a cycle.
+    from repro.lint.effects.extract import extract_effects
+
     return ModuleSummary(
         path=display_path,
         module=module,
@@ -585,4 +622,5 @@ def extract_summary(
         string_tuples=tuple(extractor.string_tuples),
         event_sites=tuple(extractor.event_sites),
         defines_event_schemas=extractor.defines_event_schemas,
+        effects=extract_effects(tree, bindings),
     )

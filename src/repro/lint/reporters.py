@@ -1,11 +1,12 @@
 """Rendering and baseline persistence for lint reports.
 
-Two formats: ``text`` (one ``path:line:col: RPR### [severity]
-message`` line per finding plus a summary) and ``json`` (a stable
+Three formats: ``text`` (one ``path:line:col: RPR### [severity]
+message`` line per finding plus a summary), ``json`` (a stable
 machine-readable document the CI job uploads as an artifact next to
-``BENCH_sim.json``).  Baselines are JSON files of finding
-fingerprints — accepted pre-existing debt that stops failing the
-build without a suppression comment at every site.
+``BENCH_sim.json``), and ``sarif`` (SARIF 2.1.0, the interchange
+format code-scanning UIs ingest).  Baselines are JSON files of
+finding fingerprints — accepted pre-existing debt that stops failing
+the build without a suppression comment at every site.
 """
 
 from __future__ import annotations
@@ -19,8 +20,10 @@ from repro.lint.engine import Finding, LintReport
 
 __all__ = [
     "LINT_REPORT_VERSION",
+    "normalize_fingerprint",
     "render_text",
     "render_json",
+    "render_sarif",
     "findings_to_baseline",
     "load_baseline",
     "write_baseline",
@@ -28,7 +31,29 @@ __all__ = [
 
 #: Bump when the JSON report's shape changes.
 #: 2: added ``wall_seconds`` and ``jobs``.
-LINT_REPORT_VERSION = 2
+#: 3: added ``cache_hits``; fingerprints whitespace-normalized.
+LINT_REPORT_VERSION = 3
+
+#: SARIF partialFingerprints key; bump with the fingerprint scheme.
+_SARIF_FINGERPRINT_KEY = "reproLint/v1"
+
+
+def normalize_fingerprint(fingerprint: str) -> str:
+    """Collapse whitespace in a fingerprint's source-context part.
+
+    Fingerprints are ``rule:path:source-context``.  The context is the
+    stripped source line (or a rendered chain for corpus findings), so
+    reformatting — re-indentation, argument wrapping — used to churn
+    baselines even though nothing moved.  ``Finding.fingerprint`` now
+    emits collapsed contexts; applying the same collapse when *loading*
+    a baseline migrates pre-normalization files transparently.  The
+    function is idempotent, so already-normalized input passes through.
+    """
+    parts = fingerprint.split(":", 2)
+    if len(parts) != 3:
+        return fingerprint
+    rule, path, context = parts
+    return f"{rule}:{path}:{' '.join(context.split())}"
 
 
 def _finding_dict(finding: Finding) -> Dict[str, Any]:
@@ -72,6 +97,7 @@ def render_json(report: LintReport) -> str:
         "files_scanned": report.files_scanned,
         "suppressed": report.suppressed,
         "baselined": report.baselined,
+        "cache_hits": report.cache_hits,
         "wall_seconds": round(report.wall_seconds, 6),
         "jobs": report.jobs,
         "summary": {
@@ -80,6 +106,84 @@ def render_json(report: LintReport) -> str:
             "by_rule": report.counts_by_rule(),
         },
         "findings": [_finding_dict(f) for f in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _sarif_result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVELS.get(finding.severity, "note"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        # SARIF lines are 1-based; corpus findings
+                        # anchored at line 0 clamp to 1.
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            _SARIF_FINGERPRINT_KEY: finding.fingerprint(),
+        },
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 report, the format code-scanning services ingest.
+
+    The driver carries the full rule catalogue (id, title, family,
+    default level) so viewers can show metadata for rules with zero
+    results, and every result carries the same fingerprint the
+    baseline mechanism uses under ``partialFingerprints``.
+    """
+    from repro.lint.rules import rule_catalogue
+
+    rules = [
+        {
+            "id": entry["id"],
+            "name": entry["id"],
+            "shortDescription": {"text": entry["title"]},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(entry["severity"], "note"),
+            },
+            "properties": {
+                "family": entry["family"],
+                "autofixable": entry["autofixable"],
+            },
+        }
+        for entry in rule_catalogue()
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": str(LINT_REPORT_VERSION),
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": [_sarif_result(f) for f in report.findings],
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
@@ -116,4 +220,6 @@ def load_baseline(path: Union[str, pathlib.Path]) -> Set[str]:
         raise ReproError(
             f"lint baseline {path} must contain a 'fingerprints' string list"
         )
-    return set(fingerprints)
+    # Normalize on load: baselines written before the whitespace
+    # collapse keep matching without a rewrite.
+    return {normalize_fingerprint(item) for item in fingerprints}

@@ -26,6 +26,15 @@ from repro.lint.rules.dimensional import (
     MixedUnitArithmeticRule,
     MixedUnitComparisonRule,
 )
+from repro.lint.rules.effects import (
+    DeterministicBareExceptionRule,
+    PolicyHookArgumentMutationRule,
+    PolicyHookGlobalWriteRule,
+    PolicyHookReferenceRetentionRule,
+    PostCaptureMutationRule,
+    SignatureInteriorMutationRule,
+    WorkerExceptionEscapeRule,
+)
 from repro.lint.rules.hygiene import (
     BroadExceptRule,
     MutableDefaultRule,
@@ -80,6 +89,13 @@ RULE_CLASSES: Tuple[type, ...] = (
     WorkerTelemetryRule,
     MixedUnitArithmeticRule,
     MixedUnitComparisonRule,
+    PolicyHookArgumentMutationRule,
+    PolicyHookReferenceRetentionRule,
+    PolicyHookGlobalWriteRule,
+    PostCaptureMutationRule,
+    SignatureInteriorMutationRule,
+    WorkerExceptionEscapeRule,
+    DeterministicBareExceptionRule,
 )
 
 #: Engine-emitted findings: id -> (title, family, severity, autofixable).
@@ -99,6 +115,9 @@ RULE_FAMILIES: Dict[str, str] = {
     "transitive-determinism": "no call path from the model layers to a sink",
     "pool-safety": "everything crossing the process pool pickles cleanly",
     "dimensional": "seconds, bytes, and counts never mix silently",
+    "plugin-contract": "policy hooks observe simulator state, never edit it",
+    "mutation-after-freeze": "captured memo-signature objects stay frozen",
+    "exception-flow": "only repro.errors types cross process boundaries",
 }
 
 

@@ -55,6 +55,12 @@ class Rule:
     #: True: the rule wants the project call graph; implies the engine
     #: builds one and calls :meth:`consume_graph` before ``finalize``.
     needs_graph: bool = False
+    #: True: the rule wants transitive effect signatures; the engine
+    #: then runs the SCC fixpoint once per run and calls
+    #: :meth:`consume_effects` (after :meth:`consume_graph`, before
+    #: ``finalize``).  Set ``needs_graph`` too — the analysis is built
+    #: on the project graph.
+    needs_effects: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         return self.layers is None or ctx.layer in self.layers
@@ -68,6 +74,9 @@ class Rule:
 
     def consume_graph(self, graph: "ProjectGraph") -> None:  # noqa: F821
         """Observe the assembled project graph (``needs_graph`` rules)."""
+
+    def consume_effects(self, analysis: "EffectAnalysis") -> None:  # noqa: F821
+        """Observe the effect-signature fixpoint (``needs_effects`` rules)."""
 
     def finalize(self) -> Iterator[Finding]:
         """Yield corpus-level findings after every file was checked."""

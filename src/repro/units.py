@@ -9,6 +9,8 @@ the unit a reader expects.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "SECONDS",
     "MILLISECONDS",
@@ -104,7 +106,12 @@ def cache_lines(footprint_bytes: int) -> int:
     issues one off-chip request per cache line.
     """
     if footprint_bytes < 0:
-        raise ValueError(f"footprint must be non-negative, got {footprint_bytes}")
+        # ConfigurationError, not ValueError: this helper runs inside
+        # pool workers (sweep points build workloads there), and only
+        # repro.errors types cross the process boundary cleanly.
+        raise ConfigurationError(
+            f"footprint must be non-negative, got {footprint_bytes}"
+        )
     return (footprint_bytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
 
 
@@ -125,7 +132,7 @@ def format_time(seconds: float) -> str:
 def format_bytes(n: int) -> str:
     """Render a byte count with an auto-selected binary unit."""
     if n < 0:
-        raise ValueError(f"byte count must be non-negative, got {n}")
+        raise ConfigurationError(f"byte count must be non-negative, got {n}")
     if n < KIB:
         return f"{n} B"
     if n < MIB:

@@ -1,0 +1,19 @@
+"""Known-bad: a policy hook mutates its task argument via an alias."""
+
+__all__ = ["ThrottlePolicyPlugin", "EagerPolicy"]
+
+POLICY_HOOKS = ("setup", "on_task_dispatch")
+
+
+class ThrottlePolicyPlugin:
+    def setup(self, simulator):
+        pass
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        pass
+
+
+class EagerPolicy(ThrottlePolicyPlugin):
+    def on_task_dispatch(self, simulator, task, context_id):
+        t = task
+        t.demand = t.demand * 2

@@ -1,0 +1,23 @@
+"""Known-good: hooks read arguments and mutate only the policy itself."""
+
+__all__ = ["ThrottlePolicyPlugin", "CountingPolicy"]
+
+POLICY_HOOKS = ("setup", "on_task_dispatch")
+
+
+class ThrottlePolicyPlugin:
+    def setup(self, simulator):
+        pass
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        pass
+
+
+class CountingPolicy(ThrottlePolicyPlugin):
+    def __init__(self):
+        self._seen = 0
+        self._last_demand = 0.0
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        self._seen += 1
+        self._last_demand = task.demand

@@ -1,0 +1,18 @@
+"""Known-bad: a policy hook retains a reference to a mutable argument."""
+
+__all__ = ["ThrottlePolicyPlugin", "HoardingPolicy"]
+
+POLICY_HOOKS = ("setup", "on_task_dispatch")
+
+
+class ThrottlePolicyPlugin:
+    def setup(self, simulator):
+        pass
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        pass
+
+
+class HoardingPolicy(ThrottlePolicyPlugin):
+    def on_task_dispatch(self, simulator, task, context_id):
+        self._last_task = task

@@ -1,0 +1,24 @@
+"""Known-good: hooks copy values and store only immutable arguments."""
+
+__all__ = ["ThrottlePolicyPlugin", "BlacklistPolicy"]
+
+POLICY_HOOKS = ("setup", "on_task_dispatch")
+
+
+class ThrottlePolicyPlugin:
+    def setup(self, simulator):
+        pass
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        pass
+
+
+class BlacklistPolicy(ThrottlePolicyPlugin):
+    def __init__(self):
+        self._blocked = set()
+        self._last_demand = 0.0
+
+    def on_task_dispatch(self, simulator, task, context_id: int):
+        # An int is a value: storing it retains no mutable state.
+        self._blocked.add(context_id)
+        self._last_demand = task.demand

@@ -1,0 +1,25 @@
+"""Known-bad: a policy hook writes a module global (via a helper)."""
+
+__all__ = ["ThrottlePolicyPlugin", "TallyPolicy"]
+
+POLICY_HOOKS = ("setup", "on_task_dispatch")
+
+_DISPATCHES = 0
+
+
+def _bump():
+    global _DISPATCHES
+    _DISPATCHES += 1
+
+
+class ThrottlePolicyPlugin:
+    def setup(self, simulator):
+        pass
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        pass
+
+
+class TallyPolicy(ThrottlePolicyPlugin):
+    def on_task_dispatch(self, simulator, task, context_id):
+        _bump()

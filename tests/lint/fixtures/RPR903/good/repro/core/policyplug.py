@@ -1,0 +1,21 @@
+"""Known-good: counting happens on the policy instance, not globals."""
+
+__all__ = ["ThrottlePolicyPlugin", "InstanceTallyPolicy"]
+
+POLICY_HOOKS = ("setup", "on_task_dispatch")
+
+
+class ThrottlePolicyPlugin:
+    def setup(self, simulator):
+        pass
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        pass
+
+
+class InstanceTallyPolicy(ThrottlePolicyPlugin):
+    def __init__(self):
+        self._dispatches = 0
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        self._dispatches += 1

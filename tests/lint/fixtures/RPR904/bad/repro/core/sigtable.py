@@ -1,0 +1,12 @@
+"""Known-bad: a list is mutated after capture into a signature slot."""
+
+__all__ = ["CohortTable"]
+
+
+class CohortTable:
+    __slots__ = ("_sig_parts", "count")
+
+    def __init__(self, parts):
+        self._sig_parts = parts
+        self.count = len(parts)
+        parts.append("late")

@@ -1,0 +1,15 @@
+"""Known-bad: a ValueError escapes a pool-worker entry two hops down."""
+
+__all__ = ["run_point"]
+
+POOL_BOUNDARY = ("run_point",)
+
+
+def run_point(point):
+    return _evaluate(point)
+
+
+def _evaluate(point):
+    if point < 0:
+        raise ValueError("negative point")
+    return point * 2

@@ -1,0 +1,22 @@
+"""Known-good: only repro.errors types (or caught builtins) in workers."""
+
+from repro.errors import SimulationError
+
+__all__ = ["run_point"]
+
+POOL_BOUNDARY = ("run_point",)
+
+
+def run_point(point):
+    if point < 0:
+        raise SimulationError("negative point")
+    try:
+        return _parse(point)
+    except ValueError:
+        return 0
+
+
+def _parse(point):
+    if point != point:
+        raise ValueError("NaN point")  # provably caught at the call site
+    return point * 2

@@ -1,0 +1,9 @@
+"""Known-bad: a deterministic layer raises bare Exception."""
+
+__all__ = ["advance"]
+
+
+def advance(state):
+    if state is None:
+        raise Exception("no state to advance")
+    return state + 1

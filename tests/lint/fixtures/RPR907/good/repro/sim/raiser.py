@@ -1,0 +1,11 @@
+"""Known-good: deterministic layers raise typed repro.errors classes."""
+
+from repro.errors import SimulationError
+
+__all__ = ["advance"]
+
+
+def advance(state):
+    if state is None:
+        raise SimulationError("no state to advance")
+    return state + 1

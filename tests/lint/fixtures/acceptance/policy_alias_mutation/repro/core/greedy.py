@@ -1,0 +1,11 @@
+"""Acceptance corpus: a hook editing simulator state through an alias."""
+
+from repro.core.plugin import ThrottlePolicyPlugin
+
+__all__ = ["GreedyBoostPolicy"]
+
+
+class GreedyBoostPolicy(ThrottlePolicyPlugin):
+    def on_task_dispatch(self, simulator, task, context_id):
+        t = task
+        t.demand = t.demand * 2

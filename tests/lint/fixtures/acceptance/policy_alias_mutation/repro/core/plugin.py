@@ -1,0 +1,13 @@
+"""Acceptance corpus: the plugin surface, clean in itself."""
+
+__all__ = ["POLICY_HOOKS", "ThrottlePolicyPlugin"]
+
+POLICY_HOOKS = ("setup", "on_task_dispatch")
+
+
+class ThrottlePolicyPlugin:
+    def setup(self, simulator):
+        pass
+
+    def on_task_dispatch(self, simulator, task, context_id):
+        pass

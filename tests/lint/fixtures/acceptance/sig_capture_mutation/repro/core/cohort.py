@@ -1,0 +1,12 @@
+"""Acceptance corpus: a list mutated after capture into a memo key."""
+
+__all__ = ["CohortKey"]
+
+
+class CohortKey:
+    __slots__ = ("_sig_parts", "count")
+
+    def __init__(self, parts):
+        self._sig_parts = parts
+        self.count = len(parts)
+        parts.append("late")

@@ -1,0 +1,11 @@
+"""Acceptance corpus: a pool worker raising a bare builtin exception."""
+
+__all__ = ["run_point"]
+
+POOL_BOUNDARY = ("run_point",)
+
+
+def run_point(point):
+    if point < 0:
+        raise ValueError("point must be >= 0")
+    return point * 2

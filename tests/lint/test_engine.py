@@ -186,6 +186,29 @@ class TestBaseline:
         with pytest.raises(ReproError, match="fingerprints"):
             load_baseline(bad)
 
+    def test_baseline_survives_reformatting(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("def f(a,     b=[]):\n    return b\n")
+        fingerprints = {f.fingerprint() for f in run([target]).findings}
+        # Collapse the alignment padding: same statement, new spacing.
+        target.write_text("def f(a, b=[]):\n    return b\n")
+        report = run([target], baseline=fingerprints)
+        assert not report.findings
+
+    def test_pre_normalization_baseline_migrates_on_load(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("def f(a, b=[]):\n    return b\n")
+        (finding,) = run([target]).findings
+        rule, path_part, context = finding.fingerprint().split(":", 2)
+        stale = f"{rule}:{path_part}:{context.replace(' ', '   ')}"
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps({"version": 2, "fingerprints": [stale]})
+        )
+        report = run([target], baseline=load_baseline(baseline_path))
+        assert not report.findings
+        assert report.baselined == 1
+
 
 class TestReporters:
     def make_report(self, tmp_path):
@@ -200,7 +223,7 @@ class TestReporters:
 
     def test_json_report_is_machine_readable(self, tmp_path):
         document = json.loads(render_json(self.make_report(tmp_path)))
-        assert document["version"] == 2
+        assert document["version"] == 3
         assert document["summary"]["errors"] == 1
         assert document["summary"]["by_rule"] == {"RPR402": 1}
         (finding,) = document["findings"]

@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 rendering: document shape, rule metadata, fingerprints."""
+
+import json
+import pathlib
+
+from repro.lint import LintEngine, build_rules, render_sarif, rule_catalogue
+
+
+def sarif_document(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text("def f(x=[]):\n    return x\n")
+    engine = LintEngine(rules=build_rules(), root=tmp_path)
+    report = engine.run([target])
+    assert report.findings
+    return report, json.loads(render_sarif(report))
+
+
+class TestSarifShape:
+    def test_document_is_sarif_2_1_0(self, tmp_path):
+        _, document = sarif_document(tmp_path)
+        assert document["version"] == "2.1.0"
+        assert "sarif-2.1.0" in document["$schema"]
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_driver_carries_the_full_rule_catalogue(self, tmp_path):
+        _, document = sarif_document(tmp_path)
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} == {
+            str(e["id"]) for e in rule_catalogue()
+        }
+        by_id = {r["id"]: r for r in rules}
+        assert by_id["RPR901"]["properties"]["family"] == "plugin-contract"
+        assert by_id["RPR402"]["defaultConfiguration"]["level"] == "error"
+
+    def test_results_carry_location_and_baseline_fingerprint(self, tmp_path):
+        report, document = sarif_document(tmp_path)
+        (result,) = document["runs"][0]["results"]
+        assert result["ruleId"] == "RPR402"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("m.py")
+        assert location["region"]["startLine"] == 1
+        (finding,) = report.findings
+        assert (
+            result["partialFingerprints"]["reproLint/v1"]
+            == finding.fingerprint()
+        )
+
+    def test_corpus_findings_clamp_line_zero_to_one(self, tmp_path):
+        # RPR302 (orphan schema) anchors at line 0; SARIF requires >= 1.
+        fixtures = (
+            pathlib.Path(__file__).resolve().parent / "fixtures" / "RPR302"
+        )
+        engine = LintEngine(
+            rules=build_rules(
+                only=["RPR302"], telemetry_schemas={"alpha", "beta"}
+            ),
+            enabled={"RPR302"},
+            root=fixtures,
+        )
+        report = engine.run([fixtures / "bad"])
+        assert any(f.line == 0 for f in report.findings)
+        document = json.loads(render_sarif(report))
+        for result in document["runs"][0]["results"]:
+            start = result["locations"][0]["physicalLocation"]["region"]
+            assert start["startLine"] >= 1

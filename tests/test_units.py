@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import ConfigurationError
 from repro.units import (
     CACHE_LINE_BYTES,
     GIB,
@@ -37,7 +38,7 @@ class TestSizes:
         assert cache_lines(mebibytes(0.5)) == 8192
 
     def test_cache_lines_rejects_negative(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             cache_lines(-1)
 
     @given(st.integers(min_value=0, max_value=GIB))
@@ -74,5 +75,5 @@ class TestFormatting:
         assert format_bytes(value) == expected
 
     def test_format_bytes_rejects_negative(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_bytes(-1)
