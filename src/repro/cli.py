@@ -235,6 +235,10 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--graph-output", default=None, metavar="PATH",
                       help="serialize the project call graph to PATH as "
                            "JSON (the CI job uploads it as an artifact)")
+    lint.add_argument("--units-output", default=None, metavar="PATH",
+                      help="serialize the inferred unit-signature table "
+                           "(per-parameter/return dimensions closed over "
+                           "the call graph) to PATH as JSON")
     lint.add_argument("--baseline", default=None, metavar="PATH",
                       help="drop findings fingerprinted in this baseline "
                            "file (accepted pre-existing debt)")
@@ -584,12 +588,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline=baseline,
         jobs=args.jobs,
         want_graph=bool(args.graph_output),
+        want_units=bool(args.units_output),
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
     )
     report = engine.run([Path(p) for p in paths])
     if args.graph_output and engine.graph is not None:
         with open(args.graph_output, "w") as handle:
             handle.write(engine.graph.to_json())
+    if args.units_output and engine.units is not None:
+        with open(args.units_output, "w") as handle:
+            handle.write(engine.units.to_json())
     if args.write_baseline:
         write_baseline(report, args.baseline)
         print(

@@ -23,12 +23,17 @@ Layout:
   and closed over the call graph by an SCC fixpoint; the
   plugin-contract, mutation-after-freeze, and exception-flow families
   consume them via ``consume_effects``;
+* :mod:`repro.lint.dimflow` — per-function *unit* signatures
+  (per-parameter/return dimensions under a small algebra of seconds,
+  bytes, counts, and derived rates) closed over the same graph by the
+  same SCC scheduling; the dimflow family (RPR810+) consumes them via
+  ``consume_units`` and ``--units-output`` serializes the table;
 * :mod:`repro.lint.rules` — the rule registry.  Each rule is a class
   with a stable id (``RPR###``), a severity, and an ``autofixable``
   flag; rules are grouped into families (determinism, memo-safety,
   telemetry, executor hygiene, API hygiene, transitive determinism,
   pool safety, dimensional consistency, plugin-contract,
-  mutation-after-freeze, exception-flow);
+  mutation-after-freeze, exception-flow, dimflow);
 * :mod:`repro.lint.reporters` — ``text``, ``json``, and ``sarif``
   renderers plus baseline read/write (fingerprints are
   whitespace-normalized, so baselines survive reformatting);

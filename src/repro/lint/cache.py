@@ -40,7 +40,7 @@ __all__ = ["LINT_CACHE_VERSION", "ScanCache", "cache_token"]
 #: rule-id list cannot express (new extraction fields, changed
 #: suppression semantics, FileScan shape).  Bumping orphans every old
 #: entry, which is exactly the point.
-LINT_CACHE_VERSION = 1
+LINT_CACHE_VERSION = 2  # v2: ModuleSummary grew per-function unit facts
 
 
 def cache_token(

@@ -389,6 +389,9 @@ class LintEngine:
             merged output is identical either way).
         want_graph: Build the project call graph even when no enabled
             rule asks for it (``--graph-output`` serializes it).
+        want_units: Run the interprocedural unit fixpoint even when no
+            enabled rule asks for it (``--units-output`` serializes the
+            inferred signature table); implies the graph.
         cache_dir: Directory for the content-hash scan cache (the
             CLI's ``--cache-dir``); ``None`` disables caching.  See
             :mod:`repro.lint.cache` — warm runs are byte-identical to
@@ -396,7 +399,9 @@ class LintEngine:
 
     After :meth:`run`, :attr:`graph` holds the
     :class:`~repro.lint.graph.builder.ProjectGraph` built for this
-    corpus, or ``None`` when nothing needed one.
+    corpus (or ``None`` when nothing needed one), and :attr:`units`
+    the :class:`~repro.lint.dimflow.fixpoint.UnitAnalysis` when a
+    ``needs_units`` rule ran or :attr:`want_units` was set.
     """
 
     rules: List["Rule"]  # noqa: F821 — see repro.lint.rules.base
@@ -405,8 +410,12 @@ class LintEngine:
     baseline: Set[str] = field(default_factory=set)
     jobs: int = 1
     want_graph: bool = False
+    want_units: bool = False
     cache_dir: Optional[Path] = None
     graph: Optional["ProjectGraph"] = field(  # noqa: F821
+        default=None, init=False, repr=False
+    )
+    units: Optional["UnitAnalysis"] = field(  # noqa: F821
         default=None, init=False, repr=False
     )
 
@@ -418,7 +427,11 @@ class LintEngine:
         known_ids = self._known_ids()
         per_file_rules = [r for r in self.rules if not r.corpus_level]
         corpus_rules = [r for r in self.rules if r.corpus_level]
-        build_graph = self.want_graph or any(r.needs_graph for r in self.rules)
+        build_graph = (
+            self.want_graph
+            or self.want_units
+            or any(r.needs_graph for r in self.rules)
+        )
         need_summary = build_graph or bool(corpus_rules)
 
         scans, cache_hits = self._scan_files(
@@ -454,6 +467,16 @@ class LintEngine:
             for rule in self.rules:
                 if getattr(rule, "needs_effects", False):
                     rule.consume_effects(analysis)
+        if self.graph is not None and (
+            self.want_units
+            or any(getattr(r, "needs_units", False) for r in self.rules)
+        ):
+            from repro.lint.dimflow.fixpoint import UnitAnalysis
+
+            self.units = UnitAnalysis(self.graph, summaries)
+            for rule in self.rules:
+                if getattr(rule, "needs_units", False):
+                    rule.consume_units(self.units)
 
         suppression_maps = {
             scan.display_path: dict(scan.suppression_lines) for scan in scans

@@ -139,6 +139,12 @@ class ModuleSummary:
     #: in the same ``--jobs`` worker pass as everything else and keyed
     #: by the same qualnames as :attr:`functions`.
     effects: Tuple["FunctionEffects", ...] = ()  # noqa: F821
+    #: Per-function local unit facts (symbolic terms for returns,
+    #: arguments, attribute writes, checks, telemetry emits); the
+    #: input of the interprocedural unit fixpoint in
+    #: :mod:`repro.lint.dimflow`.  ``None`` only on summaries built by
+    #: pre-dimflow callers.
+    units: Optional["ModuleUnits"] = None  # noqa: F821
 
 
 def module_name_for_path(display_path: str) -> Optional[str]:
@@ -606,8 +612,9 @@ def extract_summary(
     bindings = _Bindings(module, is_package)
     extractor = _Extractor(bindings)
     extractor.run(tree)
-    # Imported lazily: the extractor reuses this module's fully
+    # Imported lazily: the extractors reuse this module's fully
     # populated bindings, so a top-level import here would be a cycle.
+    from repro.lint.dimflow.extract import extract_units
     from repro.lint.effects.extract import extract_effects
 
     return ModuleSummary(
@@ -623,4 +630,5 @@ def extract_summary(
         event_sites=tuple(extractor.event_sites),
         defines_event_schemas=extractor.defines_event_schemas,
         effects=extract_effects(tree, bindings),
+        units=extract_units(tree, bindings),
     )

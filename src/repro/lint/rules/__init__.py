@@ -53,6 +53,13 @@ from repro.lint.rules.transitive import (
     TransitiveHashRule,
     TransitiveWallClockRule,
 )
+from repro.lint.rules.unitflow import (
+    ArgumentUnitMismatchRule,
+    ConflictingAttributeUnitsRule,
+    InconsistentReturnUnitsRule,
+    InferredUnitMixRule,
+    TelemetryFieldUnitRule,
+)
 
 __all__ = [
     "DETERMINISTIC_LAYERS",
@@ -96,6 +103,11 @@ RULE_CLASSES: Tuple[type, ...] = (
     SignatureInteriorMutationRule,
     WorkerExceptionEscapeRule,
     DeterministicBareExceptionRule,
+    ArgumentUnitMismatchRule,
+    InconsistentReturnUnitsRule,
+    ConflictingAttributeUnitsRule,
+    InferredUnitMixRule,
+    TelemetryFieldUnitRule,
 )
 
 #: Engine-emitted findings: id -> (title, family, severity, autofixable).
@@ -118,6 +130,7 @@ RULE_FAMILIES: Dict[str, str] = {
     "plugin-contract": "policy hooks observe simulator state, never edit it",
     "mutation-after-freeze": "captured memo-signature objects stay frozen",
     "exception-flow": "only repro.errors types cross process boundaries",
+    "dimflow": "units survive the call graph: signatures, returns, emits",
 }
 
 

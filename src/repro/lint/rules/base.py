@@ -61,6 +61,12 @@ class Rule:
     #: ``finalize``).  Set ``needs_graph`` too — the analysis is built
     #: on the project graph.
     needs_effects: bool = False
+    #: True: the rule wants interprocedural unit signatures; the engine
+    #: then runs the unit fixpoint once per run and calls
+    #: :meth:`consume_units` (after :meth:`consume_effects`, before
+    #: ``finalize``).  Set ``needs_graph`` too — the analysis resolves
+    #: calls through the project graph.
+    needs_units: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         return self.layers is None or ctx.layer in self.layers
@@ -77,6 +83,9 @@ class Rule:
 
     def consume_effects(self, analysis: "EffectAnalysis") -> None:  # noqa: F821
         """Observe the effect-signature fixpoint (``needs_effects`` rules)."""
+
+    def consume_units(self, analysis: "UnitAnalysis") -> None:  # noqa: F821
+        """Observe the unit-signature fixpoint (``needs_units`` rules)."""
 
     def finalize(self) -> Iterator[Finding]:
         """Yield corpus-level findings after every file was checked."""

@@ -1,11 +1,11 @@
-"""Dimensional-consistency rules (RPR801–RPR802).
+"""Dimensional-consistency rules (RPR801–RPR802), expression-local.
 
-The codebase carries two base dimensions (seconds and bytes) plus the
-derived counts the model works in (cycles, tasks, cache lines).  A
-latency accidentally added to a footprint type-checks — both are
-floats/ints — and produces a number that is silently wrong by nine
-orders of magnitude.  These rules run a deliberately conservative
-unit inference over every expression and flag only *known vs known
+The codebase carries several base dimensions (seconds, bytes, cycles,
+tasks, requests, ...) plus derived rates.  A latency accidentally
+added to a footprint type-checks — both are floats/ints — and produces
+a number that is silently wrong by nine orders of magnitude.  These
+rules evaluate every expression under the shared dimension algebra
+(:mod:`repro.lint.dimflow.algebra`) and flag only *known vs known
 different*:
 
 * a unit is assigned to a name/attribute by the naming convention in
@@ -13,26 +13,32 @@ different*:
   to a constant reference via :data:`repro.units.UNIT_CONSTANTS`
   (``46.3 * NANOSECONDS`` is seconds), and to a call via
   :data:`repro.units.UNIT_RETURNS` (``mebibytes(2)`` is bytes);
-* literals are unit-polymorphic (``x_seconds + 1`` is fine);
-* multiplication by a numeric literal preserves the other operand's
-  unit; any other multiplication, and all division, yields *unknown*
-  (``bytes / seconds`` is a legitimate rate);
-* only ``+``/``-`` between two *different known* units (RPR801) and
-  comparisons between two *different known* units (RPR802) fire.
+* literals are *dimensionless* (the algebra's ``""``), which is
+  compatible with everything additively (``x_seconds + 1`` is fine)
+  but a real empty dimension under ``*`` and ``/``;
+* products and quotients of known units are *known derived
+  dimensions*: ``footprint_bytes / elapsed_seconds`` is the rate
+  ``bytes/seconds`` and ``window_seconds * gap_seconds`` the (usually
+  nonsense) ``seconds^2`` — both participate in checks instead of
+  collapsing to unknown as the pre-algebra inference did;
+* only ``+``/``-`` between two *different known non-empty* dimensions
+  (RPR801) and comparisons between two such dimensions (RPR802) fire.
 
-Scoped to the library layers — tests compare quantities against
-telemetry dicts and fixture scalars in ways the convention was never
-meant to govern.
+These rules stay deliberately expression-local — units crossing a call
+boundary are the dimflow family's job (RPR810+, which shares this
+algebra through function signatures).  Scoped to the library layers —
+tests compare quantities against telemetry dicts and fixture scalars
+in ways the convention was never meant to govern.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator
 
+from repro.lint.dimflow.algebra import UnitEvaluator
 from repro.lint.engine import FileContext, Finding
 from repro.lint.rules.base import ImportMap, Rule
-from repro.units import UNIT_CONSTANTS, UNIT_RETURNS, UNIT_SUFFIXES
 
 __all__ = ["MixedUnitArithmeticRule", "MixedUnitComparisonRule"]
 
@@ -51,66 +57,6 @@ _SRC_LAYERS = frozenset(
     }
 )
 
-#: Longest suffix first, so ``_cache_lines`` wins over a hypothetical
-#: overlapping shorter suffix.
-_SUFFIXES = sorted(UNIT_SUFFIXES, key=len, reverse=True)
-
-
-def _unit_of_name(identifier: str) -> Optional[str]:
-    for suffix in _SUFFIXES:
-        if identifier == suffix or identifier.endswith("_" + suffix):
-            return UNIT_SUFFIXES[suffix]
-    return None
-
-
-class _UnitInference:
-    """Best-effort unit of an expression; ``None`` = unknown."""
-
-    def __init__(self, imports: ImportMap) -> None:
-        self._imports = imports
-
-    def unit(self, node: ast.expr) -> Optional[str]:
-        if isinstance(node, ast.Name):
-            canonical = self._imports.resolve(node)
-            if canonical in UNIT_CONSTANTS:
-                return UNIT_CONSTANTS[canonical]
-            return _unit_of_name(node.id)
-        if isinstance(node, ast.Attribute):
-            canonical = self._imports.resolve(node)
-            if canonical in UNIT_CONSTANTS:
-                return UNIT_CONSTANTS[canonical]
-            # ``self.window_seconds`` — convention applies to the
-            # attribute name itself.
-            return _unit_of_name(node.attr)
-        if isinstance(node, ast.Call):
-            canonical = self._imports.resolve(node.func)
-            if canonical in UNIT_RETURNS:
-                return UNIT_RETURNS[canonical]
-            return None
-        if isinstance(node, ast.UnaryOp):
-            return self.unit(node.operand)
-        if isinstance(node, ast.BinOp):
-            return self._binop_unit(node)
-        if isinstance(node, (ast.IfExp,)):
-            left = self.unit(node.body)
-            right = self.unit(node.orelse)
-            return left if left == right else None
-        return None
-
-    def _binop_unit(self, node: ast.BinOp) -> Optional[str]:
-        left = self.unit(node.left)
-        right = self.unit(node.right)
-        if isinstance(node.op, (ast.Add, ast.Sub)):
-            # Mixed known units are the *finding*, handled by the rule;
-            # as a value, propagate whichever side is known.
-            return left or right
-        if isinstance(node.op, ast.Mult):
-            if isinstance(node.left, ast.Constant) and right is not None:
-                return right
-            if isinstance(node.right, ast.Constant) and left is not None:
-                return left
-        return None  # division, modulo, mixed products: unknown
-
 
 class _DimensionalRule(Rule):
     family = "dimensional"
@@ -118,32 +64,35 @@ class _DimensionalRule(Rule):
     layers = _SRC_LAYERS
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        inference = _UnitInference(ImportMap(ctx.tree))
+        evaluator = UnitEvaluator(ImportMap(ctx.tree))
         for node in ast.walk(ctx.tree):
-            yield from self._check_node(node, inference, ctx)
+            yield from self._check_node(node, evaluator, ctx)
 
     def _check_node(
-        self, node: ast.AST, inference: _UnitInference, ctx: FileContext
+        self, node: ast.AST, evaluator: UnitEvaluator, ctx: FileContext
     ) -> Iterator[Finding]:
         return iter(())
 
 
 class MixedUnitArithmeticRule(_DimensionalRule):
-    """RPR801: ``+``/``-`` between two different known units."""
+    """RPR801: ``+``/``-`` between two different known dimensions."""
 
     id = "RPR801"
     title = "arithmetic mixes incompatible units"
 
     def _check_node(
-        self, node: ast.AST, inference: _UnitInference, ctx: FileContext
+        self, node: ast.AST, evaluator: UnitEvaluator, ctx: FileContext
     ) -> Iterator[Finding]:
         if not isinstance(node, ast.BinOp) or not isinstance(
             node.op, (ast.Add, ast.Sub)
         ):
             return
-        left = inference.unit(node.left)
-        right = inference.unit(node.right)
-        if left is not None and right is not None and left != right:
+        left = evaluator.unit(node.left)
+        right = evaluator.unit(node.right)
+        # Empty-string SCALAR is falsy: dimensionless operands are
+        # additively compatible with everything, so only two known,
+        # non-empty, different dimensions fire.
+        if left and right and left != right:
             op = "+" if isinstance(node.op, ast.Add) else "-"
             yield self.finding(
                 ctx,
@@ -155,13 +104,13 @@ class MixedUnitArithmeticRule(_DimensionalRule):
 
 
 class MixedUnitComparisonRule(_DimensionalRule):
-    """RPR802: comparison between two different known units."""
+    """RPR802: comparison between two different known dimensions."""
 
     id = "RPR802"
     title = "comparison across incompatible units"
 
     def _check_node(
-        self, node: ast.AST, inference: _UnitInference, ctx: FileContext
+        self, node: ast.AST, evaluator: UnitEvaluator, ctx: FileContext
     ) -> Iterator[Finding]:
         if not isinstance(node, ast.Compare):
             return
@@ -171,9 +120,9 @@ class MixedUnitComparisonRule(_DimensionalRule):
                 op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
             ):
                 continue  # membership/identity: the right side is a container
-            left = inference.unit(first)
-            right = inference.unit(second)
-            if left is not None and right is not None and left != right:
+            left = evaluator.unit(first)
+            right = evaluator.unit(second)
+            if left and right and left != right:
                 yield self.finding(
                     ctx,
                     node,

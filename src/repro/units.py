@@ -20,13 +20,20 @@ __all__ = [
     "MIB",
     "GIB",
     "CACHE_LINE_BYTES",
+    "REQUESTS",
+    "EVENTS",
     "UNIT_CONSTANTS",
+    "UNIT_PARAMS",
+    "UNIT_POLYMORPHIC",
     "UNIT_RETURNS",
     "UNIT_SUFFIXES",
     "kibibytes",
     "mebibytes",
     "gibibytes",
     "cache_lines",
+    "bytes_per_second",
+    "requests_per_second",
+    "per_second",
     "format_time",
     "format_bytes",
 ]
@@ -44,6 +51,12 @@ GIB = 1024 * MIB
 #: 64-byte line, the Nehalem line size used throughout the paper).
 CACHE_LINE_BYTES = 64
 
+#: Count dimensions for the open-system work (gateway -> server -> disk
+#: tiers, arrival processes): ``3 * REQUESTS`` is a request count the
+#: unit inference can track, same as ``2 * KIB`` is a byte count.
+REQUESTS = 1
+EVENTS = 1
+
 
 #: Dimension of each constant above, keyed by its canonical dotted
 #: name.  The dimensional-consistency lint rules (RPR8xx) seed their
@@ -60,27 +73,86 @@ UNIT_CONSTANTS = {
     "repro.units.MIB": "bytes",
     "repro.units.GIB": "bytes",
     "repro.units.CACHE_LINE_BYTES": "bytes",
+    "repro.units.REQUESTS": "requests",
+    "repro.units.EVENTS": "events",
 }
 
-#: Dimension of each helper's return value (``None`` marks helpers
-#: returning dimensionless renderings).
+#: Dimension of each helper's return value.  Derived dimensions use
+#: the algebra's rendering (numerator ``*`` factors, then ``/`` and
+#: the denominator): ``"bytes/seconds"`` is a transfer rate.
 UNIT_RETURNS = {
     "repro.units.kibibytes": "bytes",
     "repro.units.mebibytes": "bytes",
     "repro.units.gibibytes": "bytes",
     "repro.units.cache_lines": "cache_lines",
+    "repro.units.bytes_per_second": "bytes/seconds",
+    "repro.units.requests_per_second": "requests/seconds",
 }
+
+#: Explicit per-parameter dimensions, keyed by the callable's canonical
+#: dotted name.  These *seed and override* the interprocedural
+#: inference in ``repro.lint.dimflow``: an entry here wins over both
+#: the name-suffix convention and anything call sites pass in, so a
+#: deliberately unsuffixed parameter (``n``) can still carry a
+#: checkable unit.
+UNIT_PARAMS = {
+    "repro.units.format_bytes": {"n": "bytes"},
+    "repro.units.format_time": {"seconds": "seconds"},
+    "repro.units.cache_lines": {"footprint_bytes": "bytes"},
+    "repro.units.bytes_per_second": {
+        "moved_bytes": "bytes",
+        "window_seconds": "seconds",
+    },
+    "repro.units.requests_per_second": {
+        "count_requests": "requests",
+        "window_seconds": "seconds",
+    },
+    # The stream/task layer counts *memory* requests, which are
+    # cache-line granular in this model (one off-chip request per
+    # 64-byte line, see ``cache_lines``) — not the open-system arrival
+    # "requests" dimension the suffix convention would assign.  These
+    # overrides record that contract so ``cache_lines(tile)`` flows
+    # into them cleanly and a true arrival count would be flagged.
+    "repro.stream.task.memory_task": {"requests": "cache_lines"},
+    "repro.stream.task.compute_task": {"spilled_requests": "cache_lines"},
+    "repro.stream.program.build_phase": {
+        "compute_spill_requests": "cache_lines"
+    },
+}
+
+#: Genuinely unit-polymorphic callables: their parameters accept any
+#: dimension and their return unit depends on the argument's, so the
+#: inference must neither pin their parameters from call sites nor
+#: flag their internally "mixed" arithmetic.  ``per_second(count,
+#: window)`` is the canonical case — it turns *any* count into a rate.
+UNIT_POLYMORPHIC = frozenset(
+    {
+        "repro.units.per_second",
+        "builtins.abs",
+        "builtins.min",
+        "builtins.max",
+        "builtins.sum",
+    }
+)
 
 #: Naming convention -> dimension.  A variable or attribute named
 #: exactly ``seconds`` or ending in ``_seconds`` is a duration, and so
 #: on.  Deliberately short and exact-match: generic suffixes ("lines",
-#: "count") would tag names that never meant a unit.
+#: "count") would tag names that never meant a unit.  Rate suffixes
+#: map to the derived dimension the algebra produces for the matching
+#: quotient, so ``drain_bytes_per_second = moved_bytes /
+#: window_seconds`` checks out end to end.
 UNIT_SUFFIXES = {
     "seconds": "seconds",
     "bytes": "bytes",
     "cycles": "cycles",
     "tasks": "tasks",
     "cache_lines": "cache_lines",
+    "requests": "requests",
+    "events": "events",
+    "bytes_per_second": "bytes/seconds",
+    "requests_per_second": "requests/seconds",
+    "events_per_second": "events/seconds",
 }
 
 
@@ -113,6 +185,38 @@ def cache_lines(footprint_bytes: int) -> int:
             f"footprint must be non-negative, got {footprint_bytes}"
         )
     return (footprint_bytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
+
+
+def bytes_per_second(moved_bytes: float, window_seconds: float) -> float:
+    """Transfer rate of ``moved_bytes`` drained over ``window_seconds``."""
+    if window_seconds <= 0:
+        raise ConfigurationError(
+            f"rate window must be positive, got {window_seconds}"
+        )
+    return moved_bytes / window_seconds
+
+
+def requests_per_second(count_requests: float, window_seconds: float) -> float:
+    """Arrival/service rate of ``count_requests`` over ``window_seconds``."""
+    if window_seconds <= 0:
+        raise ConfigurationError(
+            f"rate window must be positive, got {window_seconds}"
+        )
+    return count_requests / window_seconds
+
+
+def per_second(count: float, window_seconds: float) -> float:
+    """Rate of *any* count over ``window_seconds`` (unit-polymorphic).
+
+    The returned value's dimension is ``<count's unit>/seconds``; the
+    caller keeps track.  Listed in :data:`UNIT_POLYMORPHIC` so the
+    lint inference does not pin ``count`` to any one dimension.
+    """
+    if window_seconds <= 0:
+        raise ConfigurationError(
+            f"rate window must be positive, got {window_seconds}"
+        )
+    return count / window_seconds
 
 
 def format_time(seconds: float) -> str:

@@ -1,7 +1,7 @@
 """Known-bad: seconds and bytes are added as if commensurable."""
 from repro.units import MIB
 
-__all__ = ["broken_budget", "broken_total"]
+__all__ = ["broken_budget", "broken_jitter", "broken_rate", "broken_total"]
 
 
 def broken_budget(latency_seconds, footprint_bytes):
@@ -10,3 +10,16 @@ def broken_budget(latency_seconds, footprint_bytes):
 
 def broken_total(deadline_seconds):
     return deadline_seconds - 4 * MIB
+
+
+def broken_jitter(window_seconds, gap_seconds, slack_seconds):
+    # seconds * seconds is the derived seconds^2, not seconds — the
+    # pre-algebra inference collapsed any product to unknown and let
+    # this through.
+    return window_seconds * gap_seconds + slack_seconds
+
+
+def broken_rate(moved_bytes, window_seconds, budget_bytes):
+    # bytes/seconds is a rate; adding a plain byte count to it is as
+    # wrong as adding seconds to bytes.
+    return moved_bytes / window_seconds + budget_bytes

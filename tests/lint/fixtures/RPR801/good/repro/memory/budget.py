@@ -14,3 +14,15 @@ def total_bytes(footprint_bytes, overhead_bytes):
 
 def bandwidth(moved_bytes, window_seconds):
     return moved_bytes / window_seconds
+
+
+def headroom_bytes_per_second(moved_bytes, window_seconds):
+    # Two quotients of the same shape share the derived bytes/seconds
+    # dimension, so adding them is fine under the algebra.
+    burst = moved_bytes / window_seconds
+    return burst + 2 * moved_bytes / window_seconds
+
+
+def variance_seconds(window_seconds, gap_seconds):
+    # seconds^2 is legitimate when both sides carry it.
+    return window_seconds * window_seconds - gap_seconds * gap_seconds

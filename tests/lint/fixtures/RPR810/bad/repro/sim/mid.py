@@ -1,0 +1,9 @@
+"""Middle hop: ``value`` has no suffix, so its unit is inferred from
+call sites — the mismatch is only visible interprocedurally."""
+from repro.sim.sink import schedule
+
+__all__ = ["relay"]
+
+
+def relay(value):
+    return schedule(delay_seconds=value)

@@ -1,0 +1,17 @@
+"""Known-bad: a byte count flows two hops into a seconds parameter,
+and a byte count reaches a ``UNIT_PARAMS``-declared helper directly."""
+from repro.sim.mid import relay
+from repro.units import format_time
+
+__all__ = ["start", "describe"]
+
+
+def start():
+    footprint_bytes = 4096
+    return relay(footprint_bytes)
+
+
+def describe(footprint_bytes):
+    # format_time's parameter is declared seconds in UNIT_PARAMS; the
+    # callee is outside this corpus, so the table path catches it.
+    return format_time(footprint_bytes)

@@ -1,0 +1,8 @@
+"""Middle hop: ``value`` is inferred from call sites."""
+from repro.sim.sink import schedule
+
+__all__ = ["relay"]
+
+
+def relay(value):
+    return schedule(delay_seconds=value)

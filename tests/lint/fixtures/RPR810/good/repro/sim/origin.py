@@ -1,0 +1,15 @@
+"""Known-good: the value flowing both hops really is a duration, and
+the declared-table helper receives the unit it asks for."""
+from repro.sim.mid import relay
+from repro.units import format_time
+
+__all__ = ["start", "describe"]
+
+
+def start():
+    interval_seconds = 0.25
+    return relay(interval_seconds)
+
+
+def describe(elapsed_seconds):
+    return format_time(elapsed_seconds)

@@ -1,0 +1,7 @@
+"""Leaf: the parameter's suffix declares the contract."""
+
+__all__ = ["schedule"]
+
+
+def schedule(delay_seconds):
+    return 2.0 * delay_seconds

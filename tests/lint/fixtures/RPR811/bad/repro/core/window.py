@@ -1,0 +1,9 @@
+"""Known-bad: one branch returns a duration, the other a byte count."""
+
+__all__ = ["window_extent"]
+
+
+def window_extent(use_time, elapsed_seconds, footprint_bytes):
+    if use_time:
+        return elapsed_seconds
+    return footprint_bytes

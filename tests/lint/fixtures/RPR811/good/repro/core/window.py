@@ -1,0 +1,16 @@
+"""Known-good: every branch agrees on the result's unit."""
+
+__all__ = ["window_extent", "clamp"]
+
+
+def window_extent(use_time, elapsed_seconds, fallback_seconds):
+    if use_time:
+        return elapsed_seconds
+    return fallback_seconds
+
+
+def clamp(elapsed_seconds):
+    # A dimensionless early-out is additively neutral, not a conflict.
+    if elapsed_seconds < 0:
+        return 0
+    return elapsed_seconds

@@ -1,0 +1,8 @@
+"""Known-bad (half 1): ``Window.budget`` is written as bytes here."""
+
+__all__ = ["Window"]
+
+
+class Window:
+    def __init__(self, limit_bytes):
+        self.budget = limit_bytes

@@ -1,0 +1,11 @@
+"""Known-bad (half 2): the same attribute is overwritten with a
+duration from another module."""
+from repro.core.state import Window
+
+__all__ = ["reschedule"]
+
+
+def reschedule(elapsed_seconds):
+    win = Window(4096)
+    win.budget = elapsed_seconds
+    return win

@@ -1,0 +1,8 @@
+"""Known-good: every writer agrees ``Window.budget`` is bytes."""
+
+__all__ = ["Window"]
+
+
+class Window:
+    def __init__(self, limit_bytes):
+        self.budget = limit_bytes

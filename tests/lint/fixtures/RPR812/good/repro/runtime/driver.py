@@ -1,0 +1,10 @@
+"""Known-good: the cross-module write keeps the attribute's unit."""
+from repro.core.state import Window
+
+__all__ = ["resize"]
+
+
+def resize(headroom_bytes):
+    win = Window(4096)
+    win.budget = headroom_bytes
+    return win

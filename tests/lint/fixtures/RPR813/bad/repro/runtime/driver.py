@@ -1,0 +1,10 @@
+"""Known-bad (half 2): the caller supplies a plain byte count where the
+comparison needs a rate."""
+from repro.runtime.meter import over_budget
+
+__all__ = ["tick"]
+
+
+def tick(moved_bytes, window_seconds):
+    limit_bytes = 4096
+    return over_budget(moved_bytes, window_seconds, limit_bytes)

@@ -1,0 +1,10 @@
+"""Known-bad (half 1): ``budget`` carries no suffix, so the comparison
+against a rate is locally undecidable — the unit arrives from the
+caller."""
+
+__all__ = ["over_budget"]
+
+
+def over_budget(moved_bytes, window_seconds, budget):
+    rate = moved_bytes / window_seconds
+    return rate > budget

@@ -1,0 +1,10 @@
+"""Known-good: the caller supplies a rate, so the comparison is
+dimensionally sound once the unit flows through."""
+from repro.runtime.meter import over_budget
+
+__all__ = ["tick"]
+
+
+def tick(moved_bytes, window_seconds):
+    limit_bytes_per_second = 4096
+    return over_budget(moved_bytes, window_seconds, limit_bytes_per_second)

@@ -1,0 +1,8 @@
+"""Known-good: the inferred unit agrees with the rate."""
+
+__all__ = ["over_budget"]
+
+
+def over_budget(moved_bytes, window_seconds, budget):
+    rate = moved_bytes / window_seconds
+    return rate > budget

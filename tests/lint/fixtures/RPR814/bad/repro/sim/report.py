@@ -1,0 +1,7 @@
+"""Known-bad: the field name promises seconds, the value is bytes."""
+
+__all__ = ["emit_phase"]
+
+
+def emit_phase(tracer, footprint_bytes):
+    tracer.emit({"event": "phase_done", "elapsed_seconds": footprint_bytes})

@@ -1,0 +1,14 @@
+"""Known-good: every unit-suffixed field carries the unit it names."""
+
+__all__ = ["emit_phase"]
+
+
+def emit_phase(tracer, duration_seconds, footprint_bytes):
+    tracer.emit(
+        {
+            "event": "phase_done",
+            "elapsed_seconds": duration_seconds,
+            "resident_bytes": footprint_bytes,
+            "retries": 3,
+        }
+    )

@@ -1,0 +1,9 @@
+"""Middle hop: ``value`` carries no suffix; only the interprocedural
+inference knows it is bytes by the time it reaches ``schedule``."""
+from repro.sim.sink import schedule
+
+__all__ = ["relay"]
+
+
+def relay(value):
+    return schedule(delay_seconds=value)

@@ -1,0 +1,9 @@
+"""Origin: a byte count enters the pipeline two hops above the sink."""
+from repro.sim.mid import relay
+
+__all__ = ["start"]
+
+
+def start():
+    footprint_bytes = 4096
+    return relay(footprint_bytes)

@@ -1,0 +1,7 @@
+"""Leaf: ``delay_seconds`` is the declared contract the flow violates."""
+
+__all__ = ["schedule"]
+
+
+def schedule(delay_seconds):
+    return 2.0 * delay_seconds
